@@ -1,0 +1,98 @@
+// Command protean-bench regenerates the tables and figures of the
+// PROTEAN paper's evaluation on the simulated cluster.
+//
+// Usage:
+//
+//	protean-bench -list
+//	protean-bench -run fig5
+//	protean-bench -run all -duration 60 -nodes 8
+//	protean-bench -run fig9 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"protean/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "protean-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("protean-bench", flag.ContinueOnError)
+	var (
+		list     = fs.Bool("list", false, "list available experiments")
+		runIDs   = fs.String("run", "", "comma-separated experiment IDs, or 'all'")
+		nodes    = fs.Int("nodes", 8, "worker node count")
+		duration = fs.Float64("duration", 60, "trace duration in seconds")
+		warmup   = fs.Float64("warmup", 15, "metrics warmup in seconds")
+		seed     = fs.Int64("seed", 1, "random seed")
+		quick    = fs.Bool("quick", false, "smaller model sweeps and durations")
+		asJSON   = fs.Bool("json", false, "emit JSON instead of text tables")
+		format   = fs.String("format", "text", "table format: text, markdown, csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list || *runIDs == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.Registry() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *runIDs == "" && !*list {
+			fmt.Println("\nrun with -run <id>[,<id>...] or -run all")
+		}
+		return nil
+	}
+
+	var selected []experiments.Experiment
+	if *runIDs == "all" {
+		selected = experiments.Registry()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	params := experiments.Params{
+		Nodes:    *nodes,
+		Duration: *duration,
+		Warmup:   *warmup,
+		Seed:     *seed,
+		Quick:    *quick,
+	}
+	for _, e := range selected {
+		started := time.Now()
+		report, err := e.Run(params)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(report); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := report.RenderAs(os.Stdout, experiments.Format(*format)); err != nil {
+			return err
+		}
+		fmt.Printf("[%s completed in %s]\n\n", e.ID, time.Since(started).Round(time.Millisecond))
+	}
+	return nil
+}

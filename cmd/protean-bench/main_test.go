@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "fig999"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunQuickExperiment(t *testing.T) {
+	if err := run([]string{"-run", "table3", "-quick"}); err != nil {
+		t.Fatalf("run table3: %v", err)
+	}
+}
+
+func TestRunQuickExperimentJSON(t *testing.T) {
+	if err := run([]string{"-run", "table3", "-quick", "-json"}); err != nil {
+		t.Fatalf("run table3 -json: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,106 @@
+// Command protean-load drives a running proteand instance: it submits a
+// serving scenario over HTTP and prints the resulting SLO and latency
+// metrics.
+//
+//	protean-load -server http://localhost:8080 -model "ResNet 50" -rps 9000
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "protean-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("protean-load", flag.ContinueOnError)
+	var (
+		server      = fs.String("server", "http://localhost:8080", "proteand base URL")
+		modelName   = fs.String("model", "ResNet 50", "strict model name")
+		scheme      = fs.String("scheme", "protean", "serving scheme")
+		rps         = fs.Float64("rps", 9000, "mean request rate")
+		duration    = fs.Float64("duration", 60, "trace duration in seconds")
+		warmup      = fs.Float64("warmup", 15, "metrics warmup in seconds")
+		nodes       = fs.Int("nodes", 8, "worker nodes")
+		strictFrac  = fs.Float64("strict", 0.5, "strict request fraction")
+		shape       = fs.String("shape", "wiki", "trace shape: constant, wiki, twitter")
+		procurement = fs.String("procurement", "", "VM layer: '', on-demand, hybrid, spot-only")
+		spot        = fs.String("spot", "high", "spot availability: high, moderate, low")
+		timeout     = fs.Duration("timeout", 5*time.Minute, "request timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	body := map[string]any{
+		"nodes":           *nodes,
+		"scheme":          *scheme,
+		"strictModel":     *modelName,
+		"strictFraction":  *strictFrac,
+		"shape":           *shape,
+		"meanRPS":         *rps,
+		"durationSeconds": *duration,
+		"warmupSeconds":   *warmup,
+	}
+	if *procurement != "" {
+		body["procurement"] = *procurement
+		body["spotAvailability"] = *spot
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Post(strings.TrimRight(*server, "/")+"/simulate", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server returned %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+
+	var out struct {
+		SLOCompliance    float64 `json:"sloCompliance"`
+		StrictP50Millis  float64 `json:"strictP50Millis"`
+		StrictP99Millis  float64 `json:"strictP99Millis"`
+		BEP99Millis      float64 `json:"beP99Millis"`
+		Requests         int     `json:"requests"`
+		GPUUtilization   float64 `json:"gpuUtilization"`
+		ColdStarts       int     `json:"coldStarts"`
+		Reconfigurations int     `json:"reconfigurations"`
+		NormalizedCost   float64 `json:"normalizedCost"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return fmt.Errorf("decode response: %w", err)
+	}
+
+	fmt.Printf("scheme=%s model=%q rate=%.0f rps (%s trace, %d nodes)\n", *scheme, *modelName, *rps, *shape, *nodes)
+	fmt.Printf("  SLO compliance:   %.2f%%\n", out.SLOCompliance*100)
+	fmt.Printf("  strict P50 / P99: %.1f ms / %.1f ms\n", out.StrictP50Millis, out.StrictP99Millis)
+	fmt.Printf("  BE P99:           %.1f ms\n", out.BEP99Millis)
+	fmt.Printf("  requests:         %d\n", out.Requests)
+	fmt.Printf("  GPU utilization:  %.1f%%\n", out.GPUUtilization*100)
+	fmt.Printf("  cold starts:      %d, reconfigurations: %d\n", out.ColdStarts, out.Reconfigurations)
+	if out.NormalizedCost > 0 {
+		fmt.Printf("  normalized cost:  %.3f of on-demand\n", out.NormalizedCost)
+	}
+	return nil
+}

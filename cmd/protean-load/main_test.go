@@ -1,0 +1,59 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"protean/internal/api"
+)
+
+func TestRunAgainstTestServer(t *testing.T) {
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+	err := run([]string{
+		"-server", srv.URL,
+		"-model", "ResNet 50",
+		"-rps", "600",
+		"-duration", "10",
+		"-warmup", "3",
+		"-nodes", "2",
+		"-shape", "constant",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithCostLayer(t *testing.T) {
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+	err := run([]string{
+		"-server", srv.URL,
+		"-model", "ShuffleNet V2",
+		"-rps", "400",
+		"-duration", "10",
+		"-warmup", "3",
+		"-nodes", "2",
+		"-shape", "constant",
+		"-procurement", "hybrid",
+		"-spot", "high",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunServerError(t *testing.T) {
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+	err := run([]string{"-server", srv.URL, "-model", "NoSuchNet", "-rps", "10", "-duration", "5"})
+	if err == nil {
+		t.Fatal("server error not propagated")
+	}
+}
+
+func TestRunUnreachableServer(t *testing.T) {
+	if err := run([]string{"-server", "http://127.0.0.1:1", "-duration", "1", "-timeout", "2s"}); err == nil {
+		t.Fatal("unreachable server accepted")
+	}
+}

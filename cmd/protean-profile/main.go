@@ -1,0 +1,87 @@
+// Command protean-profile runs the §3 co-location profiling method on
+// the packaged model zoo and prints the estimated interference
+// coefficients (the inputs PROTEAN's scheduler consumes), alongside the
+// per-slice Resource Deficiency Factors.
+//
+//	protean-profile              # profile every model
+//	protean-profile -set vision  # vision models only
+//	protean-profile -rdf         # include the RDF table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"protean/internal/gpu"
+	"protean/internal/model"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "protean-profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("protean-profile", flag.ContinueOnError)
+	var (
+		set      = fs.String("set", "all", "model set: all, vision, language")
+		seed     = fs.Int64("seed", 1, "profiling seed")
+		replicas = fs.Int("replicas", 6, "max homogeneous co-location replicas")
+		withRDF  = fs.Bool("rdf", false, "also print per-slice RDF table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var models []*model.Model
+	switch *set {
+	case "all":
+		models = model.All()
+	case "vision":
+		models = model.Vision()
+	case "language":
+		models = append(model.Language(), model.Generative()...)
+	default:
+		return fmt.Errorf("unknown model set %q (all, vision, language)", *set)
+	}
+
+	prof := &model.Profiler{Seed: *seed, Replicas: *replicas}
+	est, err := prof.EstimateFBRs(models)
+	if err != nil {
+		return err
+	}
+	norm := model.NormalizedFBR(est)
+
+	ordered := make([]*model.Model, len(models))
+	copy(ordered, models)
+	sort.Slice(ordered, func(i, j int) bool { return norm[ordered[i].Name()] < norm[ordered[j].Name()] })
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "model\tclass\tbatch\tsolo(7g)\testimated FBR\tnormalized")
+	for _, m := range ordered {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.0fms\t%.3f\t%.3f\n",
+			m.Name(), m.Class(), m.BatchSize(), m.Solo7g()*1000,
+			est[m.Name()], norm[m.Name()])
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if !*withRDF {
+		return nil
+	}
+	fmt.Println("\nResource Deficiency Factors (solo time on slice / solo time on 7g):")
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "model\t4g\t3g\t2g\t1g")
+	for _, m := range ordered {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			m.Name(), m.RDF(gpu.Profile4g), m.RDF(gpu.Profile3g),
+			m.RDF(gpu.Profile2g), m.RDF(gpu.Profile1g))
+	}
+	return tw.Flush()
+}

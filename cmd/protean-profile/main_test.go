@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunLanguageSet(t *testing.T) {
+	if err := run([]string{"-set", "language", "-rdf"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunVisionSet(t *testing.T) {
+	if err := run([]string{"-set", "vision"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunUnknownSet(t *testing.T) {
+	if err := run([]string{"-set", "audio"}); err == nil {
+		t.Fatal("unknown set accepted")
+	}
+}

@@ -1,0 +1,74 @@
+// Command proteand serves the PROTEAN control plane over HTTP: model and
+// scheme catalogs, on-demand scenario simulation, and paper-experiment
+// regeneration.
+//
+//	proteand -addr :8080
+//
+// Endpoints:
+//
+//	GET  /healthz
+//	GET  /models
+//	GET  /schemes
+//	GET  /experiments
+//	POST /experiments/{id}[?quick=1]
+//	POST /simulate
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"protean/internal/api"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal("proteand: ", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("proteand", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("proteand listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case sig := <-stop:
+		log.Printf("received %s, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,77 @@
+package protean_test
+
+import (
+	"fmt"
+	"time"
+
+	"protean"
+)
+
+// Serve a mixed strict/best-effort workload under the PROTEAN policy and
+// inspect the headline metrics.
+func Example() {
+	platform, err := protean.New(
+		protean.WithScheme(protean.SchemePROTEAN),
+		protean.WithNodes(2),
+		protean.WithWarmup(5*time.Second),
+		protean.WithSeed(42),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := platform.Run(protean.Workload{
+		StrictModel: "ResNet 50",
+		MeanRPS:     800,
+		Duration:    20 * time.Second,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("compliant: %v\n", res.SLOCompliance > 0.95)
+	fmt.Printf("served requests: %v\n", res.Requests > 0)
+	// Output:
+	// compliant: true
+	// served requests: true
+}
+
+// Compare two schemes on the same workload.
+func ExamplePlatform_Run_comparison() {
+	workload := protean.Workload{
+		StrictModel: "VGG 19",
+		MeanRPS:     1200,
+		Duration:    20 * time.Second,
+	}
+	for _, scheme := range []protean.Scheme{protean.SchemeINFlessLlama, protean.SchemePROTEAN} {
+		platform, err := protean.New(
+			protean.WithScheme(scheme),
+			protean.WithNodes(2),
+			protean.WithWarmup(5*time.Second),
+		)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		res, err := platform.Run(workload)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("%s ran: %v\n", scheme, res.Requests > 0)
+	}
+	// Output:
+	// infless-llama ran: true
+	// protean ran: true
+}
+
+// Inspect the packaged model zoo.
+func ExampleModels() {
+	for _, m := range protean.Models() {
+		if m.Name == "ResNet 50" {
+			fmt.Printf("%s: %s batch %d, SLO %s\n", m.Name, m.Class, m.BatchSize, m.SLO)
+		}
+	}
+	// Output:
+	// ResNet 50: HI batch 128, SLO 360ms
+}

@@ -1,0 +1,66 @@
+// LLM serving: sequence-classification LLMs (the paper's VHI models)
+// under strict latency targets. Very High Interference workloads are
+// where MPS-only consolidation collapses and PROTEAN's MIG isolation
+// pays off (Figures 12 and 13).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"protean"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("VHI LLM serving — strict ALBERT, rotating encoder BE pool, 192 rps")
+	for _, scheme := range []protean.Scheme{
+		protean.SchemeINFlessLlama,
+		protean.SchemeMoleculeBeta,
+		protean.SchemePROTEAN,
+	} {
+		platform, err := protean.New(
+			protean.WithScheme(scheme),
+			protean.WithWarmup(15*time.Second),
+		)
+		if err != nil {
+			return err
+		}
+		res, err := platform.Run(protean.Workload{
+			StrictModel: "ALBERT",
+			// The BE pool rotates across the other encoder LLMs.
+			BEModels: []string{"BERT", "RoBERTa", "DistilBERT", "DeBERTa"},
+			MeanRPS:  192,
+			Duration: 60 * time.Second,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", scheme, err)
+		}
+		fmt.Printf("  %-16s SLO %6.2f%%  strict P99 %8s  reconfigs %d\n",
+			scheme, res.SLOCompliance*100, res.StrictP99, res.Reconfigurations)
+	}
+
+	fmt.Println("\nGenerative LLMs — strict GPT-2 at the paper's 128 rps")
+	platform, err := protean.New(protean.WithWarmup(15 * time.Second))
+	if err != nil {
+		return err
+	}
+	res, err := platform.Run(protean.Workload{
+		StrictModel: "GPT-2",
+		BEModels:    []string{"BERT", "ALBERT", "RoBERTa"},
+		MeanRPS:     128,
+		Duration:    60 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  PROTEAN          SLO %6.2f%%  strict P99 %8s\n",
+		res.SLOCompliance*100, res.StrictP99)
+	return nil
+}

@@ -1,0 +1,51 @@
+// Quickstart: serve a mixed strict/best-effort ResNet 50 workload on an
+// 8-GPU PROTEAN cluster and print the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"protean"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	platform, err := protean.New(
+		protean.WithScheme(protean.SchemePROTEAN),
+		protean.WithWarmup(15*time.Second),
+	)
+	if err != nil {
+		return err
+	}
+
+	result, err := platform.Run(protean.Workload{
+		StrictModel:    "ResNet 50", // strict-SLO requests
+		StrictFraction: 0.5,         // the other half is best effort
+		Shape:          protean.TraceWiki,
+		MeanRPS:        9000,
+		Duration:       60 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("PROTEAN quickstart — ResNet 50 on 8 simulated A100s")
+	fmt.Printf("  SLO compliance:    %.2f%%\n", result.SLOCompliance*100)
+	fmt.Printf("  strict P50 / P99:  %s / %s\n", result.StrictP50, result.StrictP99)
+	fmt.Printf("  best-effort P99:   %s\n", result.BEP99)
+	fmt.Printf("  GPU utilization:   %.1f%%\n", result.GPUUtilization*100)
+	fmt.Printf("  requests served:   %d\n", result.Requests)
+	fmt.Printf("  geometry changes:  %d\n", result.Reconfigurations)
+	if len(result.GeometryTimeline) > 0 {
+		last := result.GeometryTimeline[len(result.GeometryTimeline)-1]
+		fmt.Printf("  last geometry:     node %d -> %s at %s\n", last.Node, last.Geometry, last.At)
+	}
+	return nil
+}

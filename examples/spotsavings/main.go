@@ -1,0 +1,63 @@
+// Spotsavings: the cost study of §4.5/Figure 9 — hosting the serving
+// fleet on spot VMs with an on-demand fallback. Compares pure on-demand,
+// PROTEAN's hybrid procurement, and aggressive spot-only hosting across
+// spot-market availability levels.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"protean"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	availabilities := []protean.SpotAvailability{
+		protean.SpotHigh, protean.SpotModerate, protean.SpotLow,
+	}
+	procurements := []protean.Procurement{
+		protean.ProcurementOnDemand,
+		protean.ProcurementHybrid,
+		protean.ProcurementSpotOnly,
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "spot availability\tprocurement\tnormalized cost\tSLO compliance")
+	for _, avail := range availabilities {
+		for _, proc := range procurements {
+			platform, err := protean.New(
+				protean.WithProcurement(proc, avail),
+				protean.WithWarmup(15*time.Second),
+			)
+			if err != nil {
+				return err
+			}
+			res, err := platform.Run(protean.Workload{
+				StrictModel: "ResNet 50",
+				Shape:       protean.TraceWiki,
+				MeanRPS:     9000,
+				Duration:    90 * time.Second,
+			})
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", avail, proc, err)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.2f%%\n",
+				avail, proc, res.NormalizedCost, res.SLOCompliance*100)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\nhybrid keeps compliance high at every availability; spot-only trades")
+	fmt.Println("SLO compliance for the last few percent of savings (Figure 9).")
+	return nil
+}

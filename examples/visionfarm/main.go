@@ -1,0 +1,56 @@
+// Visionfarm: an image-classification serving farm under the diurnal
+// Wiki trace, comparing PROTEAN against the state-of-the-art baselines
+// the paper evaluates — the workload of the paper's introduction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"protean"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	schemes := []protean.Scheme{
+		protean.SchemeMoleculeBeta,
+		protean.SchemeINFlessLlama,
+		protean.SchemeNaiveSlicing,
+		protean.SchemePROTEAN,
+	}
+	workloads := []string{"ShuffleNet V2", "ResNet 50", "VGG 19"}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "strict model\tscheme\tSLO compliance\tstrict P99\tGPU util")
+	for _, name := range workloads {
+		for _, scheme := range schemes {
+			platform, err := protean.New(
+				protean.WithScheme(scheme),
+				protean.WithWarmup(15*time.Second),
+			)
+			if err != nil {
+				return err
+			}
+			res, err := platform.Run(protean.Workload{
+				StrictModel: name,
+				Shape:       protean.TraceWiki,
+				MeanRPS:     9000,
+				Duration:    60 * time.Second,
+			})
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", name, scheme, err)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.2f%%\t%s\t%.0f%%\n",
+				name, scheme, res.SLOCompliance*100, res.StrictP99, res.GPUUtilization*100)
+		}
+	}
+	return tw.Flush()
+}

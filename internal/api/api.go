@@ -1,0 +1,215 @@
+// Package api implements the HTTP control plane served by cmd/proteand:
+// a small REST interface for inspecting the model zoo and schemes,
+// running serving scenarios on the simulated cluster, and regenerating
+// paper experiments remotely.
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"protean"
+	"protean/internal/experiments"
+)
+
+// SimulateRequest is the POST /simulate body.
+type SimulateRequest struct {
+	// Nodes is the worker count (default 8).
+	Nodes int `json:"nodes,omitempty"`
+	// Scheme selects the policy (default "protean").
+	Scheme string `json:"scheme,omitempty"`
+	// SLOMultiplier scales strict targets (default 3).
+	SLOMultiplier float64 `json:"sloMultiplier,omitempty"`
+	// Procurement enables the VM cost layer ("", "on-demand",
+	// "hybrid", "spot-only").
+	Procurement string `json:"procurement,omitempty"`
+	// SpotAvailability is "high", "moderate" or "low".
+	SpotAvailability string `json:"spotAvailability,omitempty"`
+	// Seed drives randomness (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// WarmupSeconds excludes ramp-up from metrics.
+	WarmupSeconds float64 `json:"warmupSeconds,omitempty"`
+
+	// StrictModel names the strict workload.
+	StrictModel string `json:"strictModel"`
+	// BEModels is the rotating best-effort pool.
+	BEModels []string `json:"beModels,omitempty"`
+	// StrictFraction is the strict share (default 0.5).
+	StrictFraction float64 `json:"strictFraction,omitempty"`
+	// Shape is "constant", "wiki" or "twitter".
+	Shape string `json:"shape,omitempty"`
+	// MeanRPS is the mean (or Twitter peak) arrival rate.
+	MeanRPS float64 `json:"meanRPS"`
+	// DurationSeconds is the trace length (default 60).
+	DurationSeconds float64 `json:"durationSeconds,omitempty"`
+}
+
+// SimulateResponse is the POST /simulate result.
+type SimulateResponse struct {
+	SLOCompliance     float64                  `json:"sloCompliance"`
+	StrictP50Millis   float64                  `json:"strictP50Millis"`
+	StrictP99Millis   float64                  `json:"strictP99Millis"`
+	BEP99Millis       float64                  `json:"beP99Millis"`
+	Requests          int                      `json:"requests"`
+	GPUUtilization    float64                  `json:"gpuUtilization"`
+	MemoryUtilization float64                  `json:"memoryUtilization"`
+	ColdStarts        int                      `json:"coldStarts"`
+	Reconfigurations  int                      `json:"reconfigurations"`
+	NormalizedCost    float64                  `json:"normalizedCost,omitempty"`
+	GeometryTimeline  []protean.GeometryChange `json:"geometryTimeline,omitempty"`
+}
+
+// Handler returns the REST control plane.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("GET /models", handleModels)
+	mux.HandleFunc("GET /schemes", handleSchemes)
+	mux.HandleFunc("GET /experiments", handleExperimentList)
+	mux.HandleFunc("POST /experiments/{id}", handleExperimentRun)
+	mux.HandleFunc("POST /simulate", handleSimulate)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing else to do.
+		_ = err
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func handleModels(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, protean.Models())
+}
+
+func handleSchemes(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, protean.Schemes())
+}
+
+func handleExperimentList(w http.ResponseWriter, _ *http.Request) {
+	type entry struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+	}
+	var out []entry
+	for _, e := range experiments.Registry() {
+		out = append(out, entry{ID: e.ID, Title: e.Title})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func handleExperimentRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := experiments.ByID(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", id))
+		return
+	}
+	quick := r.URL.Query().Get("quick") != "" && r.URL.Query().Get("quick") != "0"
+	report, err := e.Run(experiments.Params{Quick: quick})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		writeJSON(w, http.StatusOK, report)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := report.Render(w); err != nil {
+		_ = err
+	}
+}
+
+func handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	resp, err := simulate(req)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errInternal) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+var errInternal = errors.New("internal")
+
+// simulate runs one scenario via the public API.
+func simulate(req SimulateRequest) (*SimulateResponse, error) {
+	opts := []protean.Option{}
+	if req.Nodes > 0 {
+		opts = append(opts, protean.WithNodes(req.Nodes))
+	}
+	if req.Scheme != "" {
+		opts = append(opts, protean.WithScheme(protean.Scheme(req.Scheme)))
+	}
+	if req.SLOMultiplier > 0 {
+		opts = append(opts, protean.WithSLOMultiplier(req.SLOMultiplier))
+	}
+	if req.Procurement != "" {
+		opts = append(opts, protean.WithProcurement(
+			protean.Procurement(req.Procurement),
+			protean.SpotAvailability(req.SpotAvailability)))
+	}
+	if req.Seed != 0 {
+		opts = append(opts, protean.WithSeed(req.Seed))
+	}
+	if req.WarmupSeconds > 0 {
+		opts = append(opts, protean.WithWarmup(time.Duration(req.WarmupSeconds*float64(time.Second))))
+	}
+	pf, err := protean.New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	res, err := pf.Run(protean.Workload{
+		StrictModel:    req.StrictModel,
+		BEModels:       req.BEModels,
+		StrictFraction: req.StrictFraction,
+		Shape:          protean.TraceShape(req.Shape),
+		MeanRPS:        req.MeanRPS,
+		Duration:       time.Duration(req.DurationSeconds * float64(time.Second)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SimulateResponse{
+		SLOCompliance:     res.SLOCompliance,
+		StrictP50Millis:   float64(res.StrictP50) / float64(time.Millisecond),
+		StrictP99Millis:   float64(res.StrictP99) / float64(time.Millisecond),
+		BEP99Millis:       float64(res.BEP99) / float64(time.Millisecond),
+		Requests:          res.Requests,
+		GPUUtilization:    res.GPUUtilization,
+		MemoryUtilization: res.MemoryUtilization,
+		ColdStarts:        res.ColdStarts,
+		Reconfigurations:  res.Reconfigurations,
+		NormalizedCost:    res.NormalizedCost,
+		GeometryTimeline:  res.GeometryTimeline,
+	}, nil
+}

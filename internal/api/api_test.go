@@ -1,0 +1,149 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := newServer(t)
+	var body map[string]string
+	getJSON(t, srv.URL+"/healthz", &body)
+	if body["status"] != "ok" {
+		t.Errorf("status = %q", body["status"])
+	}
+}
+
+func TestModelsEndpoint(t *testing.T) {
+	srv := newServer(t)
+	var models []map[string]any
+	getJSON(t, srv.URL+"/models", &models)
+	if len(models) != 22 {
+		t.Errorf("models = %d, want 22", len(models))
+	}
+}
+
+func TestSchemesEndpoint(t *testing.T) {
+	srv := newServer(t)
+	var schemes []string
+	getJSON(t, srv.URL+"/schemes", &schemes)
+	found := false
+	for _, s := range schemes {
+		if s == "protean" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("schemes = %v, want protean included", schemes)
+	}
+}
+
+func TestExperimentListEndpoint(t *testing.T) {
+	srv := newServer(t)
+	var entries []struct{ ID, Title string }
+	getJSON(t, srv.URL+"/experiments", &entries)
+	if len(entries) < 19 {
+		t.Errorf("experiments = %d, want >= 19", len(entries))
+	}
+}
+
+func TestExperimentRunEndpoint(t *testing.T) {
+	srv := newServer(t)
+	resp, err := http.Post(srv.URL+"/experiments/table3?quick=1", "", nil)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "AWS") {
+		t.Errorf("unexpected body: %q", string(buf[:n]))
+	}
+}
+
+func TestExperimentRunUnknown(t *testing.T) {
+	srv := newServer(t)
+	resp, err := http.Post(srv.URL+"/experiments/fig999", "", nil)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	srv := newServer(t)
+	body := `{
+		"nodes": 2,
+		"scheme": "protean",
+		"strictModel": "ResNet 50",
+		"meanRPS": 800,
+		"durationSeconds": 15,
+		"warmupSeconds": 5
+	}`
+	resp, err := http.Post(srv.URL+"/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out SimulateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Requests == 0 || out.SLOCompliance <= 0 {
+		t.Errorf("response = %+v", out)
+	}
+}
+
+func TestSimulateRejectsBadRequests(t *testing.T) {
+	srv := newServer(t)
+	for _, body := range []string{
+		`{`,
+		`{"unknownField": 1}`,
+		`{"strictModel": "ResNet 50"}`,           // no rate
+		`{"strictModel": "Nope", "meanRPS": 10}`, // unknown model
+		`{"strictModel": "ResNet 50", "meanRPS": 10, "scheme": "bogus"}`,
+	} {
+		resp, err := http.Post(srv.URL+"/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}

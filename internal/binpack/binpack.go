@@ -1,0 +1,84 @@
+// Package binpack implements the First Fit bin packing used by
+// PROTEAN's choose_best_effort_slice helper (Algorithm 1): best-effort
+// request batches are packed onto the fewest, smallest GPU slices.
+package binpack
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Bin is one capacity-constrained container (a GPU slice's free memory).
+type Bin struct {
+	// Capacity is the bin's total size.
+	Capacity float64
+	// Used is the size already consumed.
+	Used float64
+}
+
+// Free returns remaining capacity.
+func (b Bin) Free() float64 { return b.Capacity - b.Used }
+
+// ErrDoesNotFit reports an item that no bin can accommodate.
+var ErrDoesNotFit = errors.New("binpack: item does not fit any bin")
+
+// FirstFit assigns each item (in order) to the first bin with room,
+// mutating bin usage. It returns the bin index per item. Items that fit
+// nowhere yield ErrDoesNotFit; earlier placements remain applied.
+func FirstFit(items []float64, bins []*Bin) ([]int, error) {
+	assign := make([]int, len(items))
+	for i, size := range items {
+		if size < 0 {
+			return assign[:i], fmt.Errorf("binpack: item %d has negative size %v", i, size)
+		}
+		placed := false
+		for bi, b := range bins {
+			if b.Free() >= size {
+				b.Used += size
+				assign[i] = bi
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return assign[:i], fmt.Errorf("%w: item %d of size %v", ErrDoesNotFit, i, size)
+		}
+	}
+	return assign, nil
+}
+
+// FirstFitDecreasing sorts items descending before first-fit packing and
+// returns assignments in the original item order.
+func FirstFitDecreasing(items []float64, bins []*Bin) ([]int, error) {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return items[order[a]] > items[order[b]] })
+	sorted := make([]float64, len(items))
+	for i, idx := range order {
+		sorted[i] = items[idx]
+	}
+	got, err := FirstFit(sorted, bins)
+	if err != nil {
+		return nil, err
+	}
+	assign := make([]int, len(items))
+	for i, idx := range order {
+		assign[idx] = got[i]
+	}
+	return assign, nil
+}
+
+// Fits reports whether all items can be packed into fresh copies of the
+// bins (first-fit-decreasing heuristic), without mutating bins.
+func Fits(items []float64, bins []*Bin) bool {
+	scratch := make([]*Bin, len(bins))
+	for i, b := range bins {
+		cp := *b
+		scratch[i] = &cp
+	}
+	_, err := FirstFitDecreasing(items, scratch)
+	return err == nil
+}

@@ -1,0 +1,134 @@
+package binpack
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func bins(caps ...float64) []*Bin {
+	out := make([]*Bin, len(caps))
+	for i, c := range caps {
+		out[i] = &Bin{Capacity: c}
+	}
+	return out
+}
+
+func TestFirstFitBasic(t *testing.T) {
+	bs := bins(10, 10)
+	assign, err := FirstFit([]float64{6, 6, 4, 4}, bs)
+	if err != nil {
+		t.Fatalf("FirstFit: %v", err)
+	}
+	want := []int{0, 1, 0, 1}
+	for i := range want {
+		if assign[i] != want[i] {
+			t.Fatalf("assign = %v, want %v", assign, want)
+		}
+	}
+	if bs[0].Used != 10 || bs[1].Used != 10 {
+		t.Errorf("bin usage = %v/%v, want 10/10", bs[0].Used, bs[1].Used)
+	}
+}
+
+func TestFirstFitPrefersEarlierBins(t *testing.T) {
+	bs := bins(5, 100)
+	assign, err := FirstFit([]float64{1, 1, 1}, bs)
+	if err != nil {
+		t.Fatalf("FirstFit: %v", err)
+	}
+	for _, a := range assign {
+		if a != 0 {
+			t.Errorf("assign = %v, want all in bin 0 (fewest, smallest slices)", assign)
+		}
+	}
+}
+
+func TestFirstFitOverflow(t *testing.T) {
+	bs := bins(5)
+	assign, err := FirstFit([]float64{3, 3}, bs)
+	if !errors.Is(err, ErrDoesNotFit) {
+		t.Fatalf("err = %v, want ErrDoesNotFit", err)
+	}
+	if len(assign) != 1 {
+		t.Errorf("partial assignment = %v, want length 1", assign)
+	}
+}
+
+func TestFirstFitNegativeItem(t *testing.T) {
+	if _, err := FirstFit([]float64{-1}, bins(5)); err == nil {
+		t.Error("negative item accepted")
+	}
+}
+
+func TestFirstFitDecreasingPacksTighter(t *testing.T) {
+	// Items 5,4,4,3,2 into bins of 9: FFD fills both bins exactly.
+	bs := bins(9, 9)
+	items := []float64{2, 4, 5, 3, 4}
+	assign, err := FirstFitDecreasing(items, bs)
+	if err != nil {
+		t.Fatalf("FirstFitDecreasing: %v", err)
+	}
+	if len(assign) != len(items) {
+		t.Fatalf("assign length = %d", len(assign))
+	}
+	load := map[int]float64{}
+	for i, a := range assign {
+		load[a] += items[i]
+	}
+	for b, l := range load {
+		if l > 9 {
+			t.Errorf("bin %d overloaded: %v", b, l)
+		}
+	}
+}
+
+func TestFitsDoesNotMutate(t *testing.T) {
+	bs := bins(10)
+	if !Fits([]float64{4, 4}, bs) {
+		t.Error("Fits = false, want true")
+	}
+	if bs[0].Used != 0 {
+		t.Errorf("Fits mutated bins: used = %v", bs[0].Used)
+	}
+	if Fits([]float64{11}, bs) {
+		t.Error("oversized item reported as fitting")
+	}
+}
+
+// Property: any successful packing respects capacities.
+func TestPropertyPackingRespectsCapacity(t *testing.T) {
+	f := func(itemsRaw []uint8, capsRaw []uint8) bool {
+		if len(capsRaw) == 0 {
+			return true
+		}
+		var items []float64
+		for _, r := range itemsRaw {
+			items = append(items, float64(r%16))
+		}
+		bs := make([]*Bin, 0, len(capsRaw))
+		for _, c := range capsRaw {
+			bs = append(bs, &Bin{Capacity: float64(c%32) + 1})
+		}
+		assign, err := FirstFit(items, bs)
+		if err != nil {
+			return true // packing may legitimately fail
+		}
+		load := make([]float64, len(bs))
+		for i, a := range assign {
+			if a < 0 || a >= len(bs) {
+				return false
+			}
+			load[a] += items[i]
+		}
+		for i := range bs {
+			if load[i] > bs[i].Capacity+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

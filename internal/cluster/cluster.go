@@ -1,0 +1,663 @@
+// Package cluster assembles the full serverless platform of Figure 4:
+// a gateway/batcher, a dispatcher load-balancing batches across worker
+// nodes, per-node GPU scheduling under a pluggable policy (PROTEAN or
+// any baseline), container autoscaling with cold starts, per-node GPU
+// reconfiguration under the ≤30% simultaneity budget, and an optional
+// spot/on-demand VM fleet with cost metering.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"protean/internal/autoscale"
+	"protean/internal/core"
+	"protean/internal/gpu"
+	"protean/internal/metrics"
+	"protean/internal/model"
+	"protean/internal/queue"
+	"protean/internal/reconfig"
+	"protean/internal/sim"
+	"protean/internal/trace"
+	"protean/internal/vm"
+)
+
+// Config describes one cluster run.
+type Config struct {
+	// Nodes is the number of GPU worker nodes (8 in the paper).
+	Nodes int
+	// Policy builds the per-node scheduling policy.
+	Policy core.Factory
+	// SLOMultiplier sets strict latency targets as a multiple of
+	// solo-on-7g execution time (default 3; the tight-SLO study uses 2).
+	SLOMultiplier float64
+	// BatchWindow bounds how long a partial batch waits (default 50 ms).
+	BatchWindow float64
+	// MonitorInterval is the reconfiguration monitor window W
+	// (default 2 s).
+	MonitorInterval float64
+	// ReconfigFrac caps the fraction of GPUs reconfiguring
+	// simultaneously (default 0.3 per §4.4).
+	ReconfigFrac float64
+	// Warmup excludes requests arriving before this time from the
+	// metrics, letting container pools ramp up (0 records everything).
+	Warmup float64
+	// PreWarm provisions idle containers for these models on every node
+	// at startup (conservative container provisioning, §6.1.4).
+	PreWarm []*model.Model
+	// PreWarmCount is the number of containers pre-warmed per model per
+	// node (default 2).
+	PreWarmCount int
+	// ServiceJitterCV is the coefficient of variation of the lognormal
+	// execution-time jitter applied per batch (data-dependent service
+	// variability; default 0.2, negative disables).
+	ServiceJitterCV float64
+	// Scaler tunes container autoscaling.
+	Scaler autoscale.Config
+	// VM optionally enables the spot/on-demand fleet; its Nodes and
+	// Listener fields are managed by the cluster.
+	VM *vm.Config
+	// Arch selects the GPU generation (nil: the paper's A100-40GB).
+	// Policies keep planning in A100 profile names; geometries are
+	// translated by slot prefix, so an H100 fleet gets 80 GB slices.
+	Arch *gpu.Arch
+}
+
+func (c *Config) applyDefaults() {
+	if c.SLOMultiplier <= 0 {
+		c.SLOMultiplier = model.DefaultSLOMultiplier
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = queue.DefaultWindow
+	}
+	if c.MonitorInterval <= 0 {
+		c.MonitorInterval = 2
+	}
+	if c.ReconfigFrac <= 0 {
+		c.ReconfigFrac = 0.3
+	}
+	if c.ServiceJitterCV == 0 {
+		c.ServiceJitterCV = 0.2
+	}
+}
+
+// heldBatch is a batch that cleared its cold start but could not be
+// placed yet (GPU reconfiguring or no fitting slice).
+type heldBatch struct {
+	batch *queue.Batch
+	cold  float64
+}
+
+// node is one GPU worker.
+type node struct {
+	id      int
+	cluster *Cluster
+	gpu     *gpu.GPU
+	policy  core.Policy
+	scaler  *autoscale.Scaler
+
+	up          bool
+	outstanding int
+
+	held []heldBatch
+
+	beBatchesWindow int
+	lastBEModel     *model.Model
+}
+
+// GeometryEvent records one geometry installation (for Figure 7).
+type GeometryEvent struct {
+	Time     float64 `json:"time"`
+	Node     int     `json:"node"`
+	Geometry string  `json:"geometry"`
+}
+
+// Cluster is the running platform.
+type Cluster struct {
+	cfg      Config
+	sim      *sim.Sim
+	nodes    []*node
+	batcher  *queue.Batcher
+	budget   *reconfig.Budget
+	fleet    *vm.Fleet
+	recorder *metrics.Recorder
+
+	pendingGlobal []*queue.Batch
+	monitor       *sim.Ticker
+	stopped       bool
+	timeline      []GeometryEvent
+	dropped       int
+	notices       int
+
+	// Oracle support: per-window upcoming BE load, precomputed from the
+	// full trace.
+	windowBEBatches []int
+	windowBEMem     []float64
+}
+
+var _ vm.Listener = (*Cluster)(nil)
+
+// New builds a cluster on the given simulator.
+func New(s *sim.Sim, cfg Config) (*Cluster, error) {
+	if s == nil {
+		return nil, errors.New("cluster: nil sim")
+	}
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: %d nodes, want > 0", cfg.Nodes)
+	}
+	if cfg.Policy == nil {
+		return nil, errors.New("cluster: nil policy factory")
+	}
+	cfg.applyDefaults()
+
+	c := &Cluster{cfg: cfg, sim: s, recorder: &metrics.Recorder{}}
+	budget, err := reconfig.NewBudget(cfg.Nodes, cfg.ReconfigFrac)
+	if err != nil {
+		return nil, err
+	}
+	c.budget = budget
+
+	arch := gpu.ArchA100()
+	if cfg.Arch != nil {
+		arch = *cfg.Arch
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		pol := cfg.Policy()
+		geom, err := arch.Translate(pol.InitialGeometry())
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d geometry: %w", i, err)
+		}
+		g, err := gpu.NewGPUWithArch(s, i, arch, geom, pol.Sharing())
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d GPU: %w", i, err)
+		}
+		g.ReorderPending = pol.ReorderRequests()
+		if ov, ok := pol.(core.DowntimeOverrider); ok {
+			if d, set := ov.ReconfigDowntime(); set {
+				g.ReconfigDowntime = d
+			}
+		}
+		scaler, err := autoscale.NewScaler(s, cfg.Scaler)
+		if err != nil {
+			return nil, err
+		}
+		n := &node{id: i, cluster: c, gpu: g, policy: pol, scaler: scaler, up: true}
+		for _, m := range cfg.PreWarm {
+			count := cfg.PreWarmCount
+			if count <= 0 {
+				count = 2
+			}
+			scaler.Prewarm(m.Name(), count)
+		}
+		c.nodes = append(c.nodes, n)
+		c.timeline = append(c.timeline, GeometryEvent{Time: s.Now(), Node: i, Geometry: g.Geometry().String()})
+	}
+
+	batcher, err := queue.NewBatcher(s, cfg.BatchWindow, c.dispatch)
+	if err != nil {
+		return nil, err
+	}
+	c.batcher = batcher
+
+	if cfg.VM != nil {
+		vmCfg := *cfg.VM
+		vmCfg.Nodes = cfg.Nodes
+		vmCfg.Listener = c
+		fleet, err := vm.NewFleet(s, vmCfg)
+		if err != nil {
+			return nil, err
+		}
+		c.fleet = fleet
+		// Nodes come up through fleet callbacks.
+		for _, n := range c.nodes {
+			n.up = false
+		}
+	}
+	return c, nil
+}
+
+// Recorder exposes the metrics recorder.
+func (c *Cluster) Recorder() *metrics.Recorder { return c.recorder }
+
+// Submit feeds one request into the gateway.
+func (c *Cluster) Submit(req trace.Request) error { return c.batcher.Add(req) }
+
+// Result summarizes a completed run.
+type Result struct {
+	// Recorder holds every latency sample.
+	Recorder *metrics.Recorder
+	// Duration is the trace duration in seconds.
+	Duration float64
+	// Nodes is the worker count.
+	Nodes int
+	// ComputeUtil and MemUtil average GPU utilization across nodes
+	// (ComputeUtil is slot-weighted busy time).
+	ComputeUtil, MemUtil float64
+	// BusyUtil is the average fraction of non-idle GPU time — "GPU
+	// utilization" as the paper (and nvidia-smi) reports it.
+	BusyUtil float64
+	// Cost reports VM spending (nil without a fleet).
+	Cost *vm.CostReport
+	// ColdStarts counts container cold starts across nodes.
+	ColdStarts int
+	// Reconfigs counts completed geometry changes.
+	Reconfigs int
+	// Timeline records geometry installations (Figure 7).
+	Timeline []GeometryEvent
+	// Dropped counts requests abandoned because no node was available
+	// for an extended period.
+	Dropped int
+	// EvictionNotices counts spot revocation notices received (§4.5).
+	EvictionNotices int
+}
+
+// Run replays a request trace and drains the system. duration is the
+// trace horizon; requests beyond it are ignored.
+func (c *Cluster) Run(reqs []trace.Request, duration float64) (*Result, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("cluster: duration %v must be positive", duration)
+	}
+	c.precomputeWindows(reqs, duration)
+
+	if c.fleet != nil {
+		if err := c.fleet.Start(); err != nil {
+			return nil, err
+		}
+	}
+	for _, req := range reqs {
+		if req.Arrival >= duration {
+			break
+		}
+		req := req
+		if _, err := c.sim.At(req.Arrival, func() {
+			if err := c.batcher.Add(req); err != nil {
+				c.dropped += 1
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+	monitor, err := c.sim.Every(c.cfg.MonitorInterval, c.monitorTick)
+	if err != nil {
+		return nil, err
+	}
+	c.monitor = monitor
+
+	if err := c.sim.RunUntil(duration); err != nil {
+		return nil, err
+	}
+	// Freeze the world: stop metering, stop new revocations, flush
+	// partial batches, then drain in-flight work.
+	c.monitor.Stop()
+	start := 0.0
+	var cost *vm.CostReport
+	if c.fleet != nil {
+		report := c.fleet.Cost(start)
+		cost = &report
+		c.fleet.Stop()
+		// After Stop, no node state changes arrive; reopen all nodes so
+		// queued work can drain for final metrics.
+		for _, n := range c.nodes {
+			n.up = true
+		}
+	}
+	c.stopped = true
+	c.batcher.Flush()
+	c.drainPendingGlobal()
+	for _, n := range c.nodes {
+		n.pumpHeld()
+	}
+	if err := c.sim.Run(); err != nil {
+		return nil, err
+	}
+
+	computeSum, memSum, busySum := 0.0, 0.0, 0.0
+	coldStarts, reconfigs := 0, 0
+	for _, n := range c.nodes {
+		cu, mu := n.gpu.Utilization()
+		computeSum += cu
+		memSum += mu
+		busySum += n.gpu.BusyFraction()
+		coldStarts += n.scaler.ColdStarts()
+		reconfigs += n.gpu.ReconfigCount()
+	}
+	return &Result{
+		Recorder:        c.recorder,
+		Duration:        duration,
+		Nodes:           c.cfg.Nodes,
+		ComputeUtil:     computeSum / float64(len(c.nodes)),
+		MemUtil:         memSum / float64(len(c.nodes)),
+		BusyUtil:        busySum / float64(len(c.nodes)),
+		Cost:            cost,
+		ColdStarts:      coldStarts,
+		Reconfigs:       reconfigs,
+		Timeline:        c.timeline,
+		Dropped:         c.dropped,
+		EvictionNotices: c.notices,
+	}, nil
+}
+
+// precomputeWindows derives per-monitor-window upcoming BE load for the
+// Oracle's perfect predictions.
+func (c *Cluster) precomputeWindows(reqs []trace.Request, duration float64) {
+	w := c.cfg.MonitorInterval
+	n := int(duration/w) + 2
+	c.windowBEBatches = make([]int, n)
+	c.windowBEMem = make([]float64, n)
+	beReqs := make([]int, n)
+	for _, r := range reqs {
+		if r.Strict || r.Arrival >= duration {
+			continue
+		}
+		idx := int(r.Arrival / w)
+		if idx >= n {
+			continue
+		}
+		beReqs[idx]++
+		c.windowBEMem[idx] = r.Model.MemGB(gpu.Profile3g)
+		if c.windowBEBatches[idx] == 0 {
+			c.windowBEBatches[idx] = r.Model.BatchSize()
+		}
+	}
+	for i := range beReqs {
+		if c.windowBEBatches[i] > 0 {
+			batchSize := c.windowBEBatches[i]
+			perNode := int(math.Ceil(float64(beReqs[i]) / float64(batchSize) / float64(c.cfg.Nodes)))
+			c.windowBEBatches[i] = perNode
+		}
+	}
+}
+
+// dispatch routes one sealed batch to the least-loaded available node.
+func (c *Cluster) dispatch(b *queue.Batch) {
+	n := c.pickNode()
+	if n == nil {
+		c.pendingGlobal = append(c.pendingGlobal, b)
+		return
+	}
+	n.accept(b)
+}
+
+func (c *Cluster) pickNode() *node {
+	var best *node
+	for _, n := range c.nodes {
+		if !n.up {
+			continue
+		}
+		if best == nil || n.outstanding < best.outstanding {
+			best = n
+		}
+	}
+	return best
+}
+
+func (c *Cluster) drainPendingGlobal() {
+	pending := c.pendingGlobal
+	c.pendingGlobal = nil
+	for _, b := range pending {
+		c.dispatch(b)
+	}
+}
+
+// monitorTick runs Algorithm 2 on every node and retries stalled work.
+func (c *Cluster) monitorTick() {
+	widx := int(c.sim.Now() / c.cfg.MonitorInterval)
+	for _, n := range c.nodes {
+		n.scaler.Sweep()
+		view := core.QueueView{
+			BEBatchesLastWindow: n.beBatchesWindow,
+			BEMemPerBatch:       n.beMemPerBatch(),
+			WindowSeconds:       c.cfg.MonitorInterval,
+		}
+		if n.lastBEModel != nil {
+			m := n.lastBEModel
+			view.BESolo = m.SoloTime
+		}
+		if widx+1 < len(c.windowBEBatches) {
+			view.NextWindowBEBatches = c.windowBEBatches[widx+1]
+			view.NextWindowBEMemPerBatch = c.windowBEMem[widx+1]
+		}
+		n.beBatchesWindow = 0
+		desired, doIt := n.policy.DesiredGeometry(n.gpu, view)
+		if doIt && !n.gpu.Reconfiguring() {
+			translated, err := n.gpu.Arch().Translate(desired)
+			if err == nil && !translated.Equal(n.gpu.Geometry()) && c.budget.TryAcquire() {
+				n.reconfigure(translated)
+			}
+		}
+		n.pumpHeld()
+	}
+	c.drainPendingGlobal()
+}
+
+// NodeDraining implements vm.Listener. Per §4.5 the node keeps serving
+// through the notice window: GPU serverless batches finish well inside
+// the 30–120 s lead time, and traffic only redirects when the
+// replacement VM attaches (NodeUp) or the VM dies without one
+// (NodeDown). The notice itself therefore costs no capacity.
+func (c *Cluster) NodeDraining(id int, _ float64) {
+	if id < 0 || id >= len(c.nodes) {
+		return
+	}
+	c.notices++
+}
+
+// NodeDown implements vm.Listener.
+func (c *Cluster) NodeDown(id int) {
+	if id < 0 || id >= len(c.nodes) {
+		return
+	}
+	n := c.nodes[id]
+	n.up = false
+	n.evacuate()
+}
+
+// NodeUp implements vm.Listener.
+func (c *Cluster) NodeUp(id int, _ vm.Kind) {
+	if id < 0 || id >= len(c.nodes) {
+		return
+	}
+	n := c.nodes[id]
+	n.up = true
+	c.drainPendingGlobal()
+}
+
+// beMemPerBatch is the per-batch footprint of the node's most recent BE
+// model on a partial slice (Algorithm 2's mem(BE_model, ·)).
+func (n *node) beMemPerBatch() float64 {
+	if n.lastBEModel == nil {
+		return 0
+	}
+	return n.lastBEModel.MemGB(gpu.Profile3g)
+}
+
+// accept takes ownership of a dispatched batch: acquire a container
+// (possibly paying a cold start), then place the batch.
+func (n *node) accept(b *queue.Batch) {
+	n.outstanding++
+	if !b.Strict {
+		n.beBatchesWindow++
+		n.lastBEModel = b.Model
+	}
+	cold, err := n.scaler.Acquire(b.Model.Name())
+	if err != nil {
+		// Defensive: Acquire only fails on empty names.
+		n.outstanding--
+		n.cluster.dropped += b.Size()
+		return
+	}
+	if cold > 0 {
+		n.cluster.sim.MustAfter(cold, func() { n.ready(b, cold) })
+		return
+	}
+	n.ready(b, 0)
+}
+
+// ready places a batch whose container is warm.
+func (n *node) ready(b *queue.Batch, cold float64) {
+	if n.gpu.Reconfiguring() {
+		n.held = append(n.held, heldBatch{batch: b, cold: cold})
+		return
+	}
+	if err := n.place(b, cold); err != nil {
+		n.held = append(n.held, heldBatch{batch: b, cold: cold})
+	}
+}
+
+func (n *node) place(b *queue.Batch, cold float64) error {
+	sl, err := n.policy.Place(n.gpu, b.Model, b.Strict)
+	if err != nil {
+		return err
+	}
+	job := &gpu.Job{
+		W:         b.Model,
+		Strict:    b.Strict,
+		Requests:  b.Size(),
+		SMFrac:    n.policy.SMCap(b.Strict),
+		Scale:     batchScale(b),
+		Jitter:    n.cluster.serviceJitter(),
+		Enqueued:  n.cluster.sim.Now(),
+		ColdStart: cold,
+	}
+	job.OnDone = func(j *gpu.Job) { n.complete(b, j) }
+	if err := sl.Submit(job); err != nil {
+		return err
+	}
+	return nil
+}
+
+// complete records metrics for every request in the batch and frees the
+// container.
+func (n *node) complete(b *queue.Batch, j *gpu.Job) {
+	n.outstanding--
+	if err := n.scaler.Release(b.Model.Name()); err != nil {
+		// Defensive: indicates an accounting bug; drop silently in
+		// production runs.
+		_ = err
+	}
+	base := j.Breakdown()
+	slo := b.Model.SLO(n.cluster.cfg.SLOMultiplier)
+	for _, r := range b.Requests {
+		if r.Arrival < n.cluster.cfg.Warmup {
+			continue
+		}
+		// Arrival→finish wall time already spans the cold start (the
+		// container booted between dispatch and execution).
+		lat := j.Finished() - r.Arrival
+		bd := base
+		bd.Queue = math.Max(0, j.Started()-r.Arrival-j.ColdStart)
+		n.cluster.recorder.Add(metrics.Sample{
+			Model:     b.Model.Name(),
+			Strict:    r.Strict,
+			Latency:   lat,
+			SLO:       slo,
+			Breakdown: bd,
+			Completed: j.Finished(),
+			Weight:    1,
+		})
+	}
+	n.pumpHeld()
+}
+
+// pumpHeld retries batches that previously failed placement.
+func (n *node) pumpHeld() {
+	if len(n.held) == 0 || n.gpu.Reconfiguring() {
+		return
+	}
+	if !n.up && !n.cluster.stopped {
+		return
+	}
+	remaining := n.held[:0]
+	for _, h := range n.held {
+		if err := n.place(h.batch, h.cold); err != nil {
+			remaining = append(remaining, h)
+		}
+	}
+	n.held = remaining
+}
+
+// evacuate re-dispatches held batches to other nodes (used when the VM
+// backing this node drains or dies).
+func (n *node) evacuate() {
+	held := n.held
+	n.held = nil
+	for _, h := range held {
+		n.outstanding--
+		// Cold-start time already paid stays paid; the batch re-enters
+		// dispatch and may pay another one elsewhere.
+		n.cluster.dispatch(h.batch)
+		if err := n.scaler.Release(h.batch.Model.Name()); err != nil {
+			_ = err
+		}
+	}
+}
+
+// reconfigure initiates a MIG geometry change on the node's GPU.
+func (n *node) reconfigure(desired gpu.Geometry) {
+	err := n.gpu.Reconfigure(desired, func(displaced []*gpu.Job) {
+		n.cluster.budget.Release()
+		n.cluster.timeline = append(n.cluster.timeline, GeometryEvent{
+			Time:     n.cluster.sim.Now(),
+			Node:     n.id,
+			Geometry: desired.String(),
+		})
+		for _, j := range displaced {
+			n.resubmit(j)
+		}
+		n.pumpHeld()
+	})
+	if err != nil {
+		n.cluster.budget.Release()
+	}
+}
+
+// resubmit places a displaced (never-started) job onto the new geometry.
+func (n *node) resubmit(j *gpu.Job) {
+	m, ok := j.W.(*model.Model)
+	if !ok {
+		return
+	}
+	sl, err := n.policy.Place(n.gpu, m, j.Strict)
+	if err != nil {
+		// Hold as a synthetic batch? Displaced jobs keep their original
+		// batch callbacks, so retry on the next completion via held
+		// list is not possible; place on any fitting slice instead.
+		for _, cand := range n.gpu.Slices() {
+			if m.MemGB(cand.Prof) <= cand.Prof.MemGB {
+				sl = cand
+				break
+			}
+		}
+		if sl == nil {
+			n.cluster.dropped += j.Requests
+			return
+		}
+	}
+	if err := sl.Submit(j); err != nil {
+		n.cluster.dropped += j.Requests
+	}
+}
+
+// serviceJitter samples the lognormal execution-time multiplier (unit
+// mean) modelling data-dependent batch variability.
+func (c *Cluster) serviceJitter() float64 {
+	cv := c.cfg.ServiceJitterCV
+	if cv <= 0 {
+		return 1
+	}
+	sigma2 := math.Log(1 + cv*cv)
+	sigma := math.Sqrt(sigma2)
+	return math.Exp(c.sim.Rand().NormFloat64()*sigma - sigma2/2)
+}
+
+// batchScale converts batch fill into a work/bandwidth scale: GPU batch
+// execution is sublinear in batch size, so a partial batch still pays a
+// fixed fraction of the full-batch cost.
+func batchScale(b *queue.Batch) float64 {
+	fill := float64(b.Size()) / float64(b.Model.BatchSize())
+	if fill > 1 {
+		fill = 1
+	}
+	return 0.25 + 0.75*fill
+}

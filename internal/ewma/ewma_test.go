@@ -1,0 +1,99 @@
+package ewma
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidatesAlpha(t *testing.T) {
+	for _, alpha := range []float64{-0.1, 0, 1.01} {
+		if _, err := New(alpha); err == nil {
+			t.Errorf("New(%v) succeeded, want error", alpha)
+		}
+	}
+	if _, err := New(0.5); err != nil {
+		t.Errorf("New(0.5): %v", err)
+	}
+}
+
+func TestPredictBeforeObserve(t *testing.T) {
+	e := MustNew(0.5)
+	if _, err := e.Predict(); !errors.Is(err, ErrNoObservations) {
+		t.Errorf("err = %v, want ErrNoObservations", err)
+	}
+	if got := e.PredictOr(7); got != 7 {
+		t.Errorf("PredictOr = %v, want 7", got)
+	}
+}
+
+func TestFirstObservationSeedsValue(t *testing.T) {
+	e := MustNew(0.1)
+	e.Observe(42)
+	got, err := e.Predict()
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if got != 42 {
+		t.Errorf("Predict = %v, want 42", got)
+	}
+}
+
+func TestSmoothingFollowsKnownRecurrence(t *testing.T) {
+	e := MustNew(0.25)
+	e.Observe(10)
+	e.Observe(20) // 0.25*20 + 0.75*10 = 12.5
+	e.Observe(0)  // 0.25*0 + 0.75*12.5 = 9.375
+	got, _ := e.Predict()
+	if math.Abs(got-9.375) > 1e-12 {
+		t.Errorf("Predict = %v, want 9.375", got)
+	}
+}
+
+func TestConvergesToConstantSignal(t *testing.T) {
+	e := MustNew(0.3)
+	e.Observe(100)
+	for i := 0; i < 100; i++ {
+		e.Observe(5)
+	}
+	got, _ := e.Predict()
+	if math.Abs(got-5) > 0.01 {
+		t.Errorf("Predict = %v, want ≈5", got)
+	}
+}
+
+func TestMustNewPanicsOnBadAlpha(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0) did not panic")
+		}
+	}()
+	MustNew(0)
+}
+
+// Property: the estimate always stays within the observed min/max.
+func TestPropertyBoundedByObservations(t *testing.T) {
+	f := func(raw []uint16, alphaRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		alpha := (float64(alphaRaw%99) + 1) / 100
+		e := MustNew(alpha)
+		minV, maxV := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			x := float64(r)
+			minV = math.Min(minV, x)
+			maxV = math.Max(maxV, x)
+			e.Observe(x)
+			got, err := e.Predict()
+			if err != nil || got < minV-1e-9 || got > maxV+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

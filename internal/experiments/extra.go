@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+
+	"protean/internal/autoscale"
+	"protean/internal/cluster"
+	"protean/internal/core"
+	"protean/internal/gpu"
+	"protean/internal/model"
+	"protean/internal/sim"
+	"protean/internal/trace"
+)
+
+// ColdStarts reproduces the §4.2 claim: delayed termination combined
+// with request batching "reduces the number of cold starts by up to 98%"
+// versus scaling containers down immediately.
+func ColdStarts(p Params) (*Report, error) {
+	p = p.withDefaults()
+	strict := model.MustByName("ResNet 50")
+	pool := model.OppositeClassPool(strict)
+	reqs, err := trace.Generate(trace.Config{
+		Rate:     wikiRate(p.Duration),
+		Mix:      trace.Mix{StrictFrac: 0.5, Strict: strict, BEPool: pool},
+		Duration: p.Duration,
+		Seed:     p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	runWith := func(scaler autoscale.Config) (*cluster.Result, error) {
+		s := sim.New(p.Seed)
+		// No pre-warming: the point is to observe the scaling policies.
+		c, err := cluster.New(s, cluster.Config{
+			Nodes:  p.Nodes,
+			Policy: core.NewProtean(core.ProteanConfig{}),
+			Warmup: p.Warmup,
+			Scaler: scaler,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return c.Run(reqs, p.Duration)
+	}
+
+	delayed, err := runWith(autoscale.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("coldstarts (delayed): %w", err)
+	}
+	immediate, err := runWith(autoscale.Config{Immediate: true})
+	if err != nil {
+		return nil, fmt.Errorf("coldstarts (immediate): %w", err)
+	}
+
+	reduction := 0.0
+	if immediate.ColdStarts > 0 {
+		reduction = 1 - float64(delayed.ColdStarts)/float64(immediate.ColdStarts)
+	}
+	t := &Table{
+		Title:   "Section 4.2 claim: delayed termination vs immediate scale-down",
+		Headers: []string{"policy", "cold starts", "SLO compliance", "strict P99"},
+		Rows: [][]string{
+			{"delayed termination (~10 min)", fmt.Sprintf("%d", delayed.ColdStarts),
+				pct(delayed.Recorder.SLOCompliance()), ms(delayed.Recorder.Strict().Percentile(99))},
+			{"immediate scale-down", fmt.Sprintf("%d", immediate.ColdStarts),
+				pct(immediate.Recorder.SLOCompliance()), ms(immediate.Recorder.Strict().Percentile(99))},
+		},
+		Notes: []string{
+			fmt.Sprintf("cold-start reduction: %.1f%% (paper: up to 98%%)", reduction*100),
+		},
+	}
+	return &Report{ID: "coldstarts", Tables: []*Table{t}}, nil
+}
+
+// KneeSweep is a calibration-transparency extra: SLO compliance for each
+// scheme across a request-rate sweep, exposing the per-scheme saturation
+// knees that anchor the load calibration of EXPERIMENTS.md.
+func KneeSweep(p Params) (*Report, error) {
+	p = p.withDefaults()
+	rates := []float64{5000, 7000, 9000, 11000}
+	if p.Quick {
+		rates = []float64{7000, 9000}
+	}
+	strict := model.MustByName("ResNet 50")
+	schemes := PrimarySchemes()
+
+	t := &Table{
+		Title:   "Knee sweep: SLO compliance vs request rate (ResNet 50 strict)",
+		Headers: []string{"rate (rps)"},
+	}
+	for _, s := range schemes {
+		t.Headers = append(t.Headers, s.Name)
+	}
+	for _, rate := range rates {
+		row := []string{fmt.Sprintf("%.0f", rate)}
+		for _, sch := range schemes {
+			res, err := runScenario(p, Scenario{
+				Strict: strict,
+				Rate:   trace.Constant(rate),
+				Policy: sch.Factory,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("knee %s@%.0f: %w", sch.Name, rate, err)
+			}
+			row = append(row, pct(res.Recorder.SLOCompliance()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"whole-GPU schemes collapse past their knee; PROTEAN's sliced isolation holds furthest")
+	return &Report{ID: "knee", Tables: []*Table{t}}, nil
+}
+
+// Hopper demonstrates the §7 generalizability claim: the same PROTEAN
+// policies on a Hopper H100-80GB fleet, whose doubled slice memory
+// relieves exactly the workload that strains the A100 — the 13.7 GB
+// DPN 92 batches that only fit the A100's 4g slice.
+func Hopper(p Params) (*Report, error) {
+	p = p.withDefaults()
+	models := []*model.Model{
+		model.MustByName("ResNet 50"),
+		model.MustByName("DPN 92"),
+	}
+	if p.Quick {
+		models = models[1:]
+	}
+	archs := []struct {
+		name string
+		arch *gpu.Arch
+	}{
+		{"A100-40GB", nil},
+		{"H100-80GB", func() *gpu.Arch { a := gpu.ArchH100(); return &a }()},
+	}
+	t := &Table{
+		Title:   "Section 7 generalizability: PROTEAN on Ampere vs Hopper",
+		Headers: []string{"strict model", "architecture", "SLO compliance", "strict P99", "reconfigs"},
+	}
+	for _, m := range models {
+		pool := model.OppositeClassPool(m)
+		reqs, err := trace.Generate(trace.Config{
+			Rate:     wikiRate(p.Duration),
+			Mix:      trace.Mix{StrictFrac: 0.5, Strict: m, BEPool: pool},
+			Duration: p.Duration,
+			Seed:     p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range archs {
+			s := sim.New(p.Seed)
+			c, err := cluster.New(s, cluster.Config{
+				Nodes:        p.Nodes,
+				Policy:       core.NewProtean(core.ProteanConfig{}),
+				Warmup:       p.Warmup,
+				PreWarm:      append(pool, m),
+				PreWarmCount: 4,
+				Arch:         a.arch,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := c.Run(reqs, p.Duration)
+			if err != nil {
+				return nil, fmt.Errorf("hopper %s/%s: %w", m.Name(), a.name, err)
+			}
+			t.Rows = append(t.Rows, []string{
+				m.Name(), a.name,
+				pct(res.Recorder.SLOCompliance()),
+				ms(res.Recorder.Strict().Percentile(99)),
+				fmt.Sprintf("%d", res.Reconfigs),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"policies are architecture-agnostic: plans in slot-prefix profiles translate per generation (§7)")
+	return &Report{ID: "hopper", Tables: []*Table{t}}, nil
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"protean/internal/model"
+	"protean/internal/trace"
+)
+
+// Fig12VHIModels reproduces Figure 12: SLO compliance for the Very High
+// Interference encoder LLMs.
+func Fig12VHIModels(p Params) (*Report, error) {
+	p = p.withDefaults()
+	schemes := PrimarySchemes()
+	t := &Table{Title: "Figure 12: SLO compliance, VHI language models", Headers: []string{"strict model"}}
+	for _, s := range schemes {
+		t.Headers = append(t.Headers, s.Name)
+	}
+	for _, m := range p.languageModels() {
+		row := []string{m.Name()}
+		for _, sch := range schemes {
+			res, err := runScenario(p, Scenario{
+				Strict: m,
+				Rate:   trace.Constant(LanguageMeanRPS),
+				Policy: sch.Factory,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig12 %s/%s: %w", m.Name(), sch.Name, err)
+			}
+			row = append(row, pct(res.Recorder.SLOCompliance()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("language rate calibrated to %d rps (paper: 128 rps); batch size 4", LanguageMeanRPS))
+	return &Report{ID: "fig12", Tables: []*Table{t}}, nil
+}
+
+// Fig13GenerativeLLMs reproduces Figure 13: SLO compliance for GPT-1 and
+// GPT-2 with encoder LLMs as the rotating best-effort pool.
+func Fig13GenerativeLLMs(p Params) (*Report, error) {
+	p = p.withDefaults()
+	schemes := PrimarySchemes()
+	t := &Table{Title: "Figure 13: SLO compliance, generative LLMs", Headers: []string{"strict model"}}
+	for _, s := range schemes {
+		t.Headers = append(t.Headers, s.Name)
+	}
+	for _, m := range model.Generative() {
+		row := []string{m.Name()}
+		for _, sch := range schemes {
+			res, err := runScenario(p, Scenario{
+				Strict: m,
+				BEPool: model.Language(),
+				Rate:   trace.Constant(GenerativeMeanRPS),
+				Policy: sch.Factory,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig13 %s/%s: %w", m.Name(), sch.Name, err)
+			}
+			row = append(row, pct(res.Recorder.SLOCompliance()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"GPT FBRs exceed the encoder LLMs' by ~42%%; rate %d rps (the paper's own)", GenerativeMeanRPS))
+	return &Report{ID: "fig13", Tables: []*Table{t}}, nil
+}
+
+// Fig14SkewedStrictness reproduces Figure 14: SLO compliance under
+// strict-skewed (75/25) and BE-skewed (25/75) request mixes for
+// ShuffleNet V2 and DPN 92.
+func Fig14SkewedStrictness(p Params) (*Report, error) {
+	p = p.withDefaults()
+	schemes := PrimarySchemes()
+	models := []*model.Model{model.MustByName("ShuffleNet V2"), model.MustByName("DPN 92")}
+	var tables []*Table
+	for _, skew := range []struct {
+		name string
+		frac float64
+	}{
+		{"strict skewed (75% strict)", 0.75},
+		{"BE skewed (25% strict)", 0.25},
+	} {
+		t := &Table{
+			Title:   "Figure 14: " + skew.name,
+			Headers: []string{"strict model"},
+		}
+		for _, s := range schemes {
+			t.Headers = append(t.Headers, s.Name)
+		}
+		for _, m := range models {
+			row := []string{m.Name()}
+			for _, sch := range schemes {
+				res, err := runScenario(p, Scenario{
+					Strict:     m,
+					StrictFrac: skew.frac,
+					Rate:       wikiRate(p.Duration),
+					Policy:     sch.Factory,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("fig14 %s/%s: %w", m.Name(), sch.Name, err)
+				}
+				row = append(row, pct(res.Recorder.SLOCompliance()))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return &Report{ID: "fig14", Tables: tables}, nil
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"protean/internal/core"
+	"protean/internal/model"
+	"protean/internal/vm"
+)
+
+// fig9Availabilities are the spot-market scenarios of §5.
+func fig9Availabilities() []vm.Availability {
+	return []vm.Availability{vm.AvailabilityHigh, vm.AvailabilityModerate, vm.AvailabilityLow}
+}
+
+// Fig9CostVsSLO reproduces Figure 9: normalized dollar cost and SLO
+// compliance for the on-demand baselines, the Spot Only variant, and
+// PROTEAN's hybrid procurement, under high/moderate/low spot
+// availability.
+func Fig9CostVsSLO(p Params) (*Report, error) {
+	p = p.withDefaults()
+	models := []*model.Model{
+		model.MustByName("ShuffleNet V2"), // Figure 9a: an LI model
+		model.MustByName("ResNet 50"),     // Figure 9b: an HI model
+	}
+	if p.Quick {
+		models = models[1:]
+	} else if p.Duration < 120 {
+		// Spot revocations play out over minutes; give them room.
+		p.Duration = 120
+	}
+	var tables []*Table
+	for _, m := range models {
+		t := &Table{
+			Title:   fmt.Sprintf("Figure 9: normalized cost vs SLO compliance — %s", m.Name()),
+			Headers: []string{"availability", "scheme", "normalized cost", "SLO compliance"},
+		}
+		// On-demand baselines: availability-independent (run once,
+		// averaged across the baseline schemes as the paper plots).
+		baselineSLO := 0.0
+		baselines := []NamedFactory{
+			{Name: "Molecule (beta)", Factory: core.NewMoleculeBeta()},
+			{Name: "Naive Slicing", Factory: core.NewNaiveSlicing(nil)},
+			{Name: "INFless/Llama", Factory: core.NewINFlessLlama()},
+		}
+		for _, sch := range baselines {
+			res, err := runScenario(p, Scenario{
+				Strict: m,
+				Rate:   wikiRate(p.Duration),
+				Policy: sch.Factory,
+				VM:     &vm.Config{Mode: vm.ModeOnDemandOnly},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig9 baseline %s: %w", sch.Name, err)
+			}
+			baselineSLO += res.Recorder.SLOCompliance()
+		}
+		baselineSLO /= float64(len(baselines))
+
+		for _, avail := range fig9Availabilities() {
+			t.Rows = append(t.Rows, []string{
+				avail.Name, "Others (on-demand)", "1.00", pct(baselineSLO),
+			})
+			for _, variant := range []struct {
+				name string
+				mode vm.Mode
+			}{
+				{"Spot Only", vm.ModeSpotOnly},
+				{"PROTEAN", vm.ModeSpotPreferred},
+			} {
+				res, err := runScenario(p, Scenario{
+					Strict: m,
+					Rate:   wikiRate(p.Duration),
+					Policy: core.NewProtean(core.ProteanConfig{}),
+					VM: &vm.Config{
+						Mode:          variant.mode,
+						Availability:  avail,
+						CheckInterval: 45,
+					},
+				})
+				if err != nil {
+					return nil, fmt.Errorf("fig9 %s/%s: %w", variant.name, avail.Name, err)
+				}
+				cost := "n/a"
+				if res.Cost != nil {
+					cost = fmt.Sprintf("%.2f", res.Cost.Normalized)
+				}
+				t.Rows = append(t.Rows, []string{
+					avail.Name, variant.name, cost, pct(res.Recorder.SLOCompliance()),
+				})
+			}
+		}
+		t.Notes = append(t.Notes,
+			"cost normalized to an all-on-demand fleet of the same size (AWS Table 3 pricing)")
+		tables = append(tables, t)
+	}
+	return &Report{ID: "fig9", Tables: tables}, nil
+}
+
+// Fig10ThroughputUtilization reproduces Figure 10: strict throughput per
+// GPU (DenseNet 121) and GPU/memory utilization (EfficientNet-B0).
+func Fig10ThroughputUtilization(p Params) (*Report, error) {
+	p = p.withDefaults()
+	thr := &Table{
+		Title:   "Figure 10a: strict throughput (DenseNet 121)",
+		Headers: []string{"scheme", "strict req/GPU/s", "total req/GPU/s", "SLO compliance"},
+	}
+	util := &Table{
+		Title:   "Figure 10b: GPU utilization (EfficientNet-B0)",
+		Headers: []string{"scheme", "GPU utilization (non-idle)", "slot-weighted", "memory"},
+	}
+	dense := model.MustByName("DenseNet 121")
+	eff := model.MustByName("EfficientNet-B0")
+	effective := p.Duration - p.Warmup
+	for _, sch := range PrimarySchemes() {
+		res, err := runScenario(p, Scenario{Strict: dense, Rate: wikiRate(p.Duration), Policy: sch.Factory})
+		if err != nil {
+			return nil, fmt.Errorf("fig10a %s: %w", sch.Name, err)
+		}
+		thr.Rows = append(thr.Rows, []string{
+			sch.Name,
+			fmt.Sprintf("%.1f", res.Recorder.Throughput(effective, res.Nodes, p.Duration)),
+			fmt.Sprintf("%.1f", res.Recorder.TotalThroughput(effective, res.Nodes, p.Duration)),
+			pct(res.Recorder.SLOCompliance()),
+		})
+
+		res2, err := runScenario(p, Scenario{Strict: eff, Rate: wikiRate(p.Duration), Policy: sch.Factory})
+		if err != nil {
+			return nil, fmt.Errorf("fig10b %s: %w", sch.Name, err)
+		}
+		util.Rows = append(util.Rows, []string{
+			sch.Name, pct(res2.BusyUtil), pct(res2.ComputeUtil), pct(res2.MemUtil),
+		})
+	}
+	thr.Notes = append(thr.Notes,
+		"throughput counts requests completed within the trace window (backlog excluded)")
+	return &Report{ID: "fig10", Tables: []*Table{thr, util}}, nil
+}
+
+// Fig11ErraticTrace reproduces Figure 11: tail latency breakdown and SLO
+// compliance for MobileNet under the bursty Twitter trace.
+func Fig11ErraticTrace(p Params) (*Report, error) {
+	p = p.withDefaults()
+	m := model.MustByName("MobileNet")
+	t := &Table{
+		Title:   "Figure 11: Twitter trace — MobileNet strict P99 breakdown",
+		Headers: []string{"scheme", "SLO", "P99", "min", "deficiency", "interference", "queue+cold"},
+	}
+	for _, sch := range PrimarySchemes() {
+		res, err := runScenario(p, Scenario{
+			Strict: m,
+			Rate:   twitterRate(p.Duration, p.Seed),
+			Policy: sch.Factory,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig11 %s: %w", sch.Name, err)
+		}
+		sum := res.Recorder.Summarize()
+		b := sum.P99Breakdown
+		t.Rows = append(t.Rows, []string{
+			sch.Name, pct(sum.SLOCompliance), ms(sum.P99),
+			ms(b.MinPossible), ms(b.Deficiency), ms(b.Interference), ms(b.Queue + b.ColdStart),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("Twitter trace scaled to a %d rps peak; surges find schemes under-provisioned (queueing)", TwitterPeakRPS))
+	return &Report{ID: "fig11", Tables: []*Table{t}}, nil
+}

@@ -1,0 +1,713 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"protean/internal/sim"
+)
+
+// SharingMode selects how jobs co-resident on one slice are executed.
+type SharingMode int
+
+const (
+	// ShareMPS runs jobs concurrently via MPS spatial sharing; jobs
+	// interfere through memory-bandwidth contention per Eq. (1).
+	ShareMPS SharingMode = iota + 1
+	// ShareTimeSlice runs jobs one at a time (pure time sharing); there
+	// is no interference but jobs queue behind each other.
+	ShareTimeSlice
+)
+
+// String implements fmt.Stringer.
+func (m SharingMode) String() string {
+	switch m {
+	case ShareMPS:
+		return "mps"
+	case ShareTimeSlice:
+		return "time-slice"
+	default:
+		return fmt.Sprintf("SharingMode(%d)", int(m))
+	}
+}
+
+// Workload describes the execution characteristics the engine needs from a
+// job's model. Implemented by *model.Model.
+type Workload interface {
+	// Name identifies the workload.
+	Name() string
+	// SoloTime is the isolated batch execution time (seconds) on the
+	// given profile, i.e. Solo_7g × RDF(profile).
+	SoloTime(p Profile) float64
+	// FBR is the job's Fractional Bandwidth Requirement (bw × sm
+	// aggregate, as a fraction of the bandwidth of the partition it
+	// runs on).
+	FBR() float64
+	// ComputeDemand is the fraction of a full GPU's SMs one batch can
+	// utilize; co-located batches whose summed demand exceeds the
+	// slice's SMs contend for compute.
+	ComputeDemand() float64
+	// Cache returns the workload's cache-pollution (harm inflicted on
+	// co-runners) and cache-sensitivity (harm received) coefficients in
+	// [0, 1].
+	Cache() (pollution, sensitivity float64)
+	// MemGB is the memory footprint of one batch on the given profile.
+	MemGB(p Profile) float64
+}
+
+// Breakdown decomposes a job's end-to-end latency into the components
+// plotted in Figures 2, 6 and 11 of the paper.
+type Breakdown struct {
+	// Queue is time spent waiting before execution started (dispatch
+	// queues, slice admission queues, reconfiguration downtime).
+	Queue float64
+	// ColdStart is container boot time attributed to the job.
+	ColdStart float64
+	// MinPossible is the batch execution time on an idle full GPU (7g).
+	MinPossible float64
+	// Deficiency is the extra execution time caused by running on a
+	// smaller slice (the resource deficiency effect).
+	Deficiency float64
+	// Interference is the extra execution time caused by MPS
+	// co-location (memory bandwidth contention).
+	Interference float64
+}
+
+// Total is the end-to-end latency represented by the breakdown.
+func (b Breakdown) Total() float64 {
+	return b.Queue + b.ColdStart + b.MinPossible + b.Deficiency + b.Interference
+}
+
+// Job is one request batch executing (or waiting to execute) on a GPU
+// slice.
+type Job struct {
+	// W is the workload (model) this batch belongs to.
+	W Workload
+	// Strict marks batches composed of strict-SLO requests.
+	Strict bool
+	// Requests is the number of user requests in the batch (used to
+	// weight metrics).
+	Requests int
+	// SMFrac caps the fraction of the slice's SMs the job may use
+	// (GPUlet-style MPS limits). Zero means no cap (1.0).
+	SMFrac float64
+	// Scale scales the batch's work and bandwidth demand relative to a
+	// full batch (partial batches sealed by the batching window do less
+	// work). Zero means 1.0.
+	Scale float64
+	// Jitter multiplies the batch's intrinsic execution time
+	// (data-dependent service variability). Zero means 1.0.
+	Jitter float64
+	// Enqueued is the virtual time the batch became ready to run
+	// (after batching and cold start).
+	Enqueued float64
+	// ColdStart is boot latency already incurred by the batch before
+	// Enqueued; it is carried into the latency breakdown.
+	ColdStart float64
+	// OnDone, if set, is invoked when the batch completes.
+	OnDone func(*Job)
+
+	slice       *Slice
+	started     float64
+	finished    float64
+	remaining   float64 // solo-on-slice seconds of work left
+	slow        float64 // current slowdown multiplier (>= 1)
+	lastAdvance float64
+	timer       *sim.Timer
+	running     bool
+	done        bool
+}
+
+func (j *Job) smFrac() float64 {
+	if j.SMFrac <= 0 || j.SMFrac > 1 {
+		return 1
+	}
+	return j.SMFrac
+}
+
+func (j *Job) scale() float64 {
+	if j.Scale <= 0 || j.Scale > 1 {
+		return 1
+	}
+	return j.Scale
+}
+
+func (j *Job) jitter() float64 {
+	if j.Jitter <= 0 {
+		return 1
+	}
+	return j.Jitter
+}
+
+// effProfile is the profile the job effectively executes on, accounting
+// for an SM cap.
+func (j *Job) effProfile(p Profile) Profile { return Scaled(p, j.smFrac()) }
+
+// effFBR is the job's bandwidth demand contribution, scaled by the batch
+// fill. MPS active-thread caps do not reduce it: memory-bound kernels
+// keep saturating bandwidth from fewer SMs (§2.2 — cache and bandwidth
+// stay shared under strategic MPS).
+func (j *Job) effFBR() float64 { return j.W.FBR() * j.scale() }
+
+// effComputeDemand is the fraction of the slice's SMs the job demands:
+// the full-GPU demand rescaled to the slice's SM count, bounded by any
+// MPS active-thread cap and by the slice itself.
+func (j *Job) effComputeDemand(p Profile) float64 {
+	d := j.W.ComputeDemand() * j.scale() / p.ComputeFrac
+	return math.Min(math.Min(d, j.smFrac()), 1)
+}
+
+// Done reports whether the job has completed.
+func (j *Job) Done() bool { return j.done }
+
+// Started returns the virtual time execution began (valid once running or
+// done).
+func (j *Job) Started() float64 { return j.started }
+
+// Finished returns the completion time (valid once done).
+func (j *Job) Finished() float64 { return j.finished }
+
+// Slice returns the slice the job was placed on (nil before placement).
+func (j *Job) Slice() *Slice { return j.slice }
+
+// Breakdown returns the latency decomposition of a completed job.
+func (j *Job) Breakdown() Breakdown {
+	if !j.done {
+		return Breakdown{}
+	}
+	minPossible := j.W.SoloTime(Profile7g) * j.scale() * j.jitter()
+	soloOnSlice := j.W.SoloTime(j.effProfile(j.slice.Prof)) * j.scale() * j.jitter()
+	return Breakdown{
+		Queue:        math.Max(0, j.started-j.Enqueued),
+		ColdStart:    j.ColdStart,
+		MinPossible:  minPossible,
+		Deficiency:   math.Max(0, soloOnSlice-minPossible),
+		Interference: math.Max(0, (j.finished-j.started)-soloOnSlice),
+	}
+}
+
+// Latency is the end-to-end latency including cold start and queueing.
+func (j *Job) Latency() float64 {
+	if !j.done {
+		return math.NaN()
+	}
+	return j.ColdStart + (j.finished - j.Enqueued)
+}
+
+// Engine errors.
+var (
+	// ErrJobTooLarge reports a batch whose memory footprint exceeds the
+	// slice's capacity outright.
+	ErrJobTooLarge = errors.New("gpu: job memory exceeds slice capacity")
+	// ErrSliceClosed reports submission to a slice that is draining for
+	// reconfiguration or already replaced.
+	ErrSliceClosed = errors.New("gpu: slice closed for reconfiguration")
+	// ErrReconfiguring reports a reconfiguration request while one is
+	// already in flight.
+	ErrReconfiguring = errors.New("gpu: reconfiguration already in progress")
+)
+
+// Slice is one MIG instance: a partition of the GPU executing jobs either
+// concurrently (MPS) or one at a time (time sharing).
+type Slice struct {
+	// Prof is the MIG profile backing the slice.
+	Prof Profile
+	// Mode is the sharing mode within the slice.
+	Mode SharingMode
+
+	sim     *sim.Sim
+	gpu     *GPU
+	index   int
+	running []*Job
+	pending []*Job
+	usedMem float64
+	closed  bool
+
+	lastAccount  float64
+	busyIntegral float64
+	memIntegral  float64
+}
+
+// Index is the slice's position within its GPU's current geometry.
+func (sl *Slice) Index() int { return sl.index }
+
+// GPU returns the owning GPU.
+func (sl *Slice) GPU() *GPU { return sl.gpu }
+
+// UsedMemGB is the memory currently occupied by running jobs.
+func (sl *Slice) UsedMemGB() float64 { return sl.usedMem }
+
+// AvailableMemGB is the memory left for additional jobs.
+func (sl *Slice) AvailableMemGB() float64 { return sl.Prof.MemGB - sl.usedMem }
+
+// Running returns the jobs currently executing on the slice.
+func (sl *Slice) Running() []*Job {
+	out := make([]*Job, len(sl.running))
+	copy(out, sl.running)
+	return out
+}
+
+// Pending returns jobs admitted to the slice but not yet executing.
+func (sl *Slice) Pending() []*Job {
+	out := make([]*Job, len(sl.pending))
+	copy(out, sl.pending)
+	return out
+}
+
+// Load returns the number of running plus pending jobs.
+func (sl *Slice) Load() int { return len(sl.running) + len(sl.pending) }
+
+// TotalFBR is the summed effective FBR of the jobs currently running on
+// the slice — the contention term of Eq. (1).
+func (sl *Slice) TotalFBR() float64 {
+	total := 0.0
+	for _, j := range sl.running {
+		total += j.effFBR()
+	}
+	return total
+}
+
+// TotalComputeDemand is the summed SM demand (as a fraction of the
+// slice's SMs) of the jobs currently running on the slice.
+func (sl *Slice) TotalComputeDemand() float64 {
+	total := 0.0
+	for _, j := range sl.running {
+		total += j.effComputeDemand(sl.Prof)
+	}
+	return total
+}
+
+// Slowdown is the current MPS interference multiplier max(Σ FBR, 1) on the
+// slice. Time-shared slices always report 1.
+func (sl *Slice) Slowdown() float64 {
+	if sl.Mode == ShareTimeSlice {
+		return 1
+	}
+	return math.Max(sl.TotalFBR(), 1)
+}
+
+// DefaultInterferenceAmp is the cache-interference amplification factor
+// γ: a co-runner's effective bandwidth demand on a victim is
+// FBR × (1 + γ·pollution_corunner·sensitivity_victim). Streaming CNN
+// batches co-located with cache-sensitive LLM batches therefore cost far
+// more than their nominal FBR, reproducing the up-to-6× MPS interference
+// the paper measures in Figure 2, while same-class LLM pairs interfere
+// mildly.
+const DefaultInterferenceAmp = 4.0
+
+// slowdownFor is the interference multiplier applied to one job: the
+// worse of bandwidth contention (Eq. (1) of the paper, with each
+// co-runner's demand amplified by 1 + γ·pollution·sensitivity) and SM
+// contention, each normalized by the job's own demand so that a job
+// whose demand exceeds the partition (the generative LLMs) is not
+// slowed relative to its own solo measurement, which already includes
+// self-saturation.
+func (sl *Slice) slowdownFor(j *Job) float64 {
+	if sl.Mode == ShareTimeSlice {
+		return 1
+	}
+	amp := sl.gpu.InterferenceAmp
+	_, sens := j.W.Cache()
+	own := j.effFBR()
+	others := 0.0
+	for _, r := range sl.running {
+		if r == j {
+			continue
+		}
+		poll, _ := r.W.Cache()
+		others += r.effFBR() * (1 + amp*poll*sens)
+	}
+	bw := math.Max(own+others, 1) / math.Max(own, 1)
+	ownSM := math.Max(j.effComputeDemand(sl.Prof), 1)
+	sm := math.Max(sl.TotalComputeDemand(), 1) / ownSM
+	return math.Max(math.Max(bw, sm), 1)
+}
+
+// Submit places a job on the slice. The job starts immediately if memory
+// (MPS) or the execution unit (time sharing) is available, and is queued
+// otherwise. If the GPU reorders pending work, strict jobs jump ahead of
+// best-effort jobs in the queue.
+func (sl *Slice) Submit(j *Job) error {
+	if sl.closed {
+		return ErrSliceClosed
+	}
+	if j.W.MemGB(sl.Prof) > sl.Prof.MemGB {
+		return fmt.Errorf("%w: %s needs %.1f GB, slice %s has %.1f GB",
+			ErrJobTooLarge, j.W.Name(), j.W.MemGB(sl.Prof), sl.Prof.Name, sl.Prof.MemGB)
+	}
+	if j.Enqueued == 0 {
+		j.Enqueued = sl.sim.Now()
+	}
+	j.slice = sl
+	if sl.gpu.ReorderPending && j.Strict {
+		// Insert after the last pending strict job, ahead of BE jobs.
+		pos := 0
+		for pos < len(sl.pending) && sl.pending[pos].Strict {
+			pos++
+		}
+		sl.pending = append(sl.pending, nil)
+		copy(sl.pending[pos+1:], sl.pending[pos:])
+		sl.pending[pos] = j
+	} else {
+		sl.pending = append(sl.pending, j)
+	}
+	sl.tryStart()
+	return nil
+}
+
+// tryStart admits pending jobs whose resources are available.
+func (sl *Slice) tryStart() {
+	if sl.closed {
+		return
+	}
+	switch sl.Mode {
+	case ShareTimeSlice:
+		if len(sl.running) == 0 && len(sl.pending) > 0 {
+			j := sl.pending[0]
+			sl.pending = sl.pending[1:]
+			sl.start(j)
+		}
+	case ShareMPS:
+		for len(sl.pending) > 0 {
+			j := sl.pending[0]
+			if sl.usedMem+j.W.MemGB(sl.Prof) > sl.Prof.MemGB {
+				break
+			}
+			sl.pending = sl.pending[1:]
+			sl.start(j)
+		}
+	}
+}
+
+func (sl *Slice) start(j *Job) {
+	now := sl.sim.Now()
+	sl.account(now)
+	j.started = now
+	j.lastAdvance = now
+	j.running = true
+	j.remaining = j.W.SoloTime(j.effProfile(sl.Prof)) * j.scale() * j.jitter()
+	sl.usedMem += j.W.MemGB(sl.Prof)
+	sl.running = append(sl.running, j)
+	sl.rebalance(now)
+}
+
+// rebalance advances every running job's progress to now and reschedules
+// completions under the new slowdown. It must be called whenever slice
+// occupancy changes.
+func (sl *Slice) rebalance(now float64) {
+	for _, j := range sl.running {
+		if j.slow > 0 {
+			elapsed := now - j.lastAdvance
+			j.remaining = math.Max(0, j.remaining-elapsed/j.slow)
+		}
+		j.lastAdvance = now
+		j.slow = sl.slowdownFor(j)
+		if j.timer != nil {
+			j.timer.Cancel()
+		}
+		j := j
+		j.timer = sl.sim.MustAfter(j.remaining*j.slow, func() { sl.complete(j) })
+	}
+}
+
+func (sl *Slice) complete(j *Job) {
+	now := sl.sim.Now()
+	sl.account(now)
+	j.remaining = 0
+	j.running = false
+	j.done = true
+	j.finished = now
+	j.timer = nil
+	for i, r := range sl.running {
+		if r == j {
+			sl.running = append(sl.running[:i], sl.running[i+1:]...)
+			break
+		}
+	}
+	sl.usedMem -= j.W.MemGB(sl.Prof)
+	if sl.usedMem < 1e-9 {
+		sl.usedMem = 0
+	}
+	sl.rebalance(now)
+	sl.tryStart()
+	sl.gpu.jobFinished(sl)
+	if j.OnDone != nil {
+		j.OnDone(j)
+	}
+}
+
+// account accumulates busy-time and memory-use integrals up to now.
+func (sl *Slice) account(now float64) {
+	sl.gpu.accountAnyBusy(now)
+	dt := now - sl.lastAccount
+	if dt <= 0 {
+		return
+	}
+	if len(sl.running) > 0 {
+		sl.busyIntegral += dt
+	}
+	sl.memIntegral += sl.usedMem * dt
+	sl.lastAccount = now
+}
+
+// accountAnyBusy integrates the GPU's non-idle time (any slice running
+// any job) up to now — the paper's GPU-utilization definition.
+func (g *GPU) accountAnyBusy(now float64) {
+	dt := now - g.lastAnyAccount
+	if dt <= 0 {
+		return
+	}
+	busy := false
+	for _, sl := range g.slices {
+		if len(sl.running) > 0 {
+			busy = true
+			break
+		}
+	}
+	if busy {
+		g.anyBusyIntegral += dt
+	}
+	g.lastAnyAccount = now
+}
+
+// BusyFraction is the fraction of time since creation the GPU was
+// non-idle (at least one batch executing on any slice) — "GPU
+// utilization" as nvidia-smi and the paper report it.
+func (g *GPU) BusyFraction() float64 {
+	now := g.sim.Now()
+	g.accountAnyBusy(now)
+	elapsed := now - g.createdAt
+	if elapsed <= 0 {
+		return 0
+	}
+	return g.anyBusyIntegral / elapsed
+}
+
+// drain closes the slice and returns its pending (not yet started) jobs.
+func (sl *Slice) drain() []*Job {
+	sl.account(sl.sim.Now())
+	sl.closed = true
+	displaced := sl.pending
+	sl.pending = nil
+	for _, j := range displaced {
+		j.slice = nil
+	}
+	return displaced
+}
+
+// GPU is one physical accelerator: a set of MIG slices under a geometry,
+// plus the reconfiguration state machine.
+type GPU struct {
+	// ID identifies the GPU within its node/cluster.
+	ID int
+	// Mode is the sharing mode installed on every slice.
+	Mode SharingMode
+	// ReorderPending makes slices prioritize strict jobs in their
+	// admission queues (PROTEAN's request reordering, §4.1).
+	ReorderPending bool
+	// ReconfigDowntime is the MIG geometry change downtime (~2 s).
+	ReconfigDowntime float64
+	// InterferenceAmp is the cross-interference amplification factor κ
+	// (DefaultInterferenceAmp unless overridden).
+	InterferenceAmp float64
+
+	sim      *sim.Sim
+	arch     *Arch
+	geometry Geometry
+	slices   []*Slice
+
+	lastAnyAccount  float64
+	anyBusyIntegral float64
+
+	reconfiguring  bool
+	pendingGeom    Geometry
+	displaced      []*Job
+	onReady        func(displaced []*Job)
+	createdAt      float64
+	reconfigCount  int
+	downtimeTotal  float64
+	downtimeStart  float64
+	busyBeforeGeom float64 // slot-weighted busy integral of retired slices
+	memBeforeGeom  float64 // GB·s integral of retired slices
+}
+
+// DefaultReconfigDowntime is the MIG reconfiguration downtime used when
+// none is configured (~2 s per §4.4).
+const DefaultReconfigDowntime = 2.0
+
+// NewGPU creates a GPU with the given initial geometry and sharing mode.
+func NewGPU(s *sim.Sim, id int, geom Geometry, mode SharingMode) (*GPU, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if mode != ShareMPS && mode != ShareTimeSlice {
+		return nil, fmt.Errorf("gpu: unknown sharing mode %d", int(mode))
+	}
+	g := &GPU{
+		ID:               id,
+		Mode:             mode,
+		ReconfigDowntime: DefaultReconfigDowntime,
+		InterferenceAmp:  DefaultInterferenceAmp,
+		sim:              s,
+		createdAt:        s.Now(),
+	}
+	g.installGeometry(geom)
+	return g, nil
+}
+
+func (g *GPU) installGeometry(geom Geometry) {
+	g.geometry = geom.Clone()
+	g.slices = make([]*Slice, len(geom))
+	now := g.sim.Now()
+	for i, p := range geom {
+		g.slices[i] = &Slice{
+			Prof:        p,
+			Mode:        g.Mode,
+			sim:         g.sim,
+			gpu:         g,
+			index:       i,
+			lastAccount: now,
+		}
+	}
+}
+
+// Geometry returns the currently installed geometry.
+func (g *GPU) Geometry() Geometry { return g.geometry.Clone() }
+
+// Slices returns the current slices, largest first.
+func (g *GPU) Slices() []*Slice {
+	out := make([]*Slice, len(g.slices))
+	copy(out, g.slices)
+	return out
+}
+
+// SlicesAscending returns the current slices ordered smallest first, as
+// iterated by Algorithm 1.
+func (g *GPU) SlicesAscending() []*Slice {
+	out := g.Slices()
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Reconfiguring reports whether a geometry change is in flight.
+func (g *GPU) Reconfiguring() bool { return g.reconfiguring }
+
+// ReconfigCount returns the number of completed geometry changes.
+func (g *GPU) ReconfigCount() int { return g.reconfigCount }
+
+// Busy reports whether any slice has running or pending jobs.
+func (g *GPU) Busy() bool {
+	for _, sl := range g.slices {
+		if sl.Load() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Arch returns the GPU's architecture (A100 when constructed via
+// NewGPU).
+func (g *GPU) Arch() Arch {
+	if g.arch != nil {
+		return *g.arch
+	}
+	return ArchA100()
+}
+
+// Reconfigure initiates a MIG geometry change. Slices stop admitting new
+// jobs immediately; already-running jobs drain; pending jobs are
+// displaced and handed to onReady together with control once the new
+// geometry is live (after ReconfigDowntime). Reconfiguring to the current
+// geometry is rejected by Equal check at the caller's discretion — the
+// engine performs it regardless.
+func (g *GPU) Reconfigure(geom Geometry, onReady func(displaced []*Job)) error {
+	if g.reconfiguring {
+		return ErrReconfiguring
+	}
+	if err := g.Arch().ValidateGeometry(geom); err != nil {
+		return err
+	}
+	g.reconfiguring = true
+	g.pendingGeom = geom.Clone()
+	g.onReady = onReady
+	g.displaced = nil
+	for _, sl := range g.slices {
+		g.displaced = append(g.displaced, sl.drain()...)
+	}
+	g.maybeBeginDowntime()
+	return nil
+}
+
+// jobFinished is notified by slices on every completion so a draining GPU
+// can detect idleness.
+func (g *GPU) jobFinished(*Slice) {
+	if g.reconfiguring {
+		g.maybeBeginDowntime()
+	}
+}
+
+func (g *GPU) maybeBeginDowntime() {
+	for _, sl := range g.slices {
+		if len(sl.running) > 0 {
+			return
+		}
+	}
+	g.downtimeStart = g.sim.Now()
+	g.retireSlices()
+	downtime := g.ReconfigDowntime
+	g.sim.MustAfter(downtime, g.finishReconfig)
+}
+
+func (g *GPU) retireSlices() {
+	now := g.sim.Now()
+	for _, sl := range g.slices {
+		sl.account(now)
+		g.busyBeforeGeom += sl.busyIntegral * float64(sl.Prof.Slots)
+		g.memBeforeGeom += sl.memIntegral
+		sl.closed = true
+	}
+	g.slices = nil
+}
+
+func (g *GPU) finishReconfig() {
+	g.downtimeTotal += g.sim.Now() - g.downtimeStart
+	g.installGeometry(g.pendingGeom)
+	g.reconfiguring = false
+	g.reconfigCount++
+	displaced := g.displaced
+	g.displaced = nil
+	onReady := g.onReady
+	g.onReady = nil
+	if onReady != nil {
+		onReady(displaced)
+	}
+}
+
+// Utilization returns the GPU's compute utilization (slot-weighted busy
+// fraction) and memory utilization (fraction of 40 GB occupied on
+// average) since creation.
+func (g *GPU) Utilization() (compute, mem float64) {
+	now := g.sim.Now()
+	elapsed := now - g.createdAt
+	if elapsed <= 0 {
+		return 0, 0
+	}
+	busy := g.busyBeforeGeom
+	memInt := g.memBeforeGeom
+	for _, sl := range g.slices {
+		sl.account(now)
+		busy += sl.busyIntegral * float64(sl.Prof.Slots)
+		memInt += sl.memIntegral
+	}
+	totalSlots, totalMem := float64(TotalSlots), TotalMemGB
+	if g.arch != nil {
+		totalSlots, totalMem = float64(g.arch.TotalSlots), g.arch.TotalMemGB
+	}
+	return busy / (totalSlots * elapsed), memInt / (totalMem * elapsed)
+}
+
+// DowntimeTotal is the cumulative reconfiguration downtime in seconds.
+func (g *GPU) DowntimeTotal() float64 { return g.downtimeTotal }

@@ -1,0 +1,268 @@
+// Package metrics collects per-request latency observations and computes
+// everything the paper's evaluation reports: SLO compliance, weighted
+// latency percentiles and CDFs, tail-latency breakdowns (Figures 2, 6,
+// 11), throughput, and the statistical significance measures of §7
+// (Welch's t-test, Cohen's d, confidence intervals).
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"protean/internal/gpu"
+)
+
+// Sample is one latency observation. A batch of N requests is recorded
+// as one sample with Weight N.
+type Sample struct {
+	// Model is the invoked model's name.
+	Model string
+	// Strict marks samples from strict-SLO requests.
+	Strict bool
+	// Latency is the end-to-end request latency in seconds.
+	Latency float64
+	// SLO is the latency target for strict samples (0 for best effort).
+	SLO float64
+	// Breakdown decomposes the latency.
+	Breakdown gpu.Breakdown
+	// Completed is the virtual time the request finished (used to
+	// restrict throughput to the in-trace window, excluding the final
+	// drain).
+	Completed float64
+	// Weight is the number of requests this sample represents.
+	Weight int
+}
+
+// Recorder accumulates samples. The zero value is ready to use.
+type Recorder struct {
+	samples []Sample
+}
+
+// Add records a sample. Zero weights are normalized to 1.
+func (r *Recorder) Add(s Sample) {
+	if s.Weight <= 0 {
+		s.Weight = 1
+	}
+	r.samples = append(r.samples, s)
+}
+
+// Merge folds another recorder's samples into r.
+func (r *Recorder) Merge(other *Recorder) {
+	r.samples = append(r.samples, other.samples...)
+}
+
+// Len returns the number of samples (not weighted).
+func (r *Recorder) Len() int { return len(r.samples) }
+
+// Requests returns the total weighted request count.
+func (r *Recorder) Requests() int {
+	n := 0
+	for _, s := range r.samples {
+		n += s.Weight
+	}
+	return n
+}
+
+// Filter returns a new recorder holding samples matching pred.
+func (r *Recorder) Filter(pred func(Sample) bool) *Recorder {
+	out := &Recorder{}
+	for _, s := range r.samples {
+		if pred(s) {
+			out.samples = append(out.samples, s)
+		}
+	}
+	return out
+}
+
+// Strict returns the strict-sample subset.
+func (r *Recorder) Strict() *Recorder {
+	return r.Filter(func(s Sample) bool { return s.Strict })
+}
+
+// BestEffort returns the best-effort subset.
+func (r *Recorder) BestEffort() *Recorder {
+	return r.Filter(func(s Sample) bool { return !s.Strict })
+}
+
+// ForModel returns samples of one model.
+func (r *Recorder) ForModel(name string) *Recorder {
+	return r.Filter(func(s Sample) bool { return s.Model == name })
+}
+
+// SLOCompliance returns the weighted fraction of strict samples meeting
+// their SLO. It returns NaN when there are no strict samples.
+func (r *Recorder) SLOCompliance() float64 {
+	total, met := 0, 0
+	for _, s := range r.samples {
+		if !s.Strict {
+			continue
+		}
+		total += s.Weight
+		if s.Latency <= s.SLO {
+			met += s.Weight
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(met) / float64(total)
+}
+
+// Mean returns the weighted mean latency (NaN when empty).
+func (r *Recorder) Mean() float64 {
+	sum, n := 0.0, 0
+	for _, s := range r.samples {
+		sum += s.Latency * float64(s.Weight)
+		n += s.Weight
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// sortedByLatency returns sample indices ordered by latency.
+func (r *Recorder) sortedByLatency() []int {
+	idx := make([]int, len(r.samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return r.samples[idx[a]].Latency < r.samples[idx[b]].Latency })
+	return idx
+}
+
+// sampleAtPercentile returns the weighted p-th percentile sample
+// (0 < p <= 100), or nil when the recorder is empty.
+func (r *Recorder) sampleAtPercentile(p float64) *Sample {
+	if len(r.samples) == 0 {
+		return nil
+	}
+	idx := r.sortedByLatency()
+	total := r.Requests()
+	target := p / 100 * float64(total)
+	cum := 0.0
+	for _, i := range idx {
+		cum += float64(r.samples[i].Weight)
+		if cum >= target {
+			return &r.samples[i]
+		}
+	}
+	return &r.samples[idx[len(idx)-1]]
+}
+
+// Percentile returns the weighted p-th percentile latency (NaN when
+// empty). P99 tail latency is Percentile(99).
+func (r *Recorder) Percentile(p float64) float64 {
+	s := r.sampleAtPercentile(p)
+	if s == nil {
+		return math.NaN()
+	}
+	return s.Latency
+}
+
+// BreakdownAtPercentile returns the latency decomposition of the sample
+// sitting at the weighted p-th percentile — how the paper plots "P99
+// latency breakdown".
+func (r *Recorder) BreakdownAtPercentile(p float64) gpu.Breakdown {
+	s := r.sampleAtPercentile(p)
+	if s == nil {
+		return gpu.Breakdown{}
+	}
+	return s.Breakdown
+}
+
+// CDFPoint is one point of an empirical latency CDF.
+type CDFPoint struct {
+	// Latency in seconds.
+	Latency float64
+	// Fraction of requests with latency <= Latency.
+	Fraction float64
+}
+
+// CDF returns the empirical weighted CDF sampled at up to points evenly
+// spaced quantiles.
+func (r *Recorder) CDF(points int) []CDFPoint {
+	if points <= 0 || len(r.samples) == 0 {
+		return nil
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 1; i <= points; i++ {
+		q := float64(i) / float64(points) * 100
+		out = append(out, CDFPoint{Latency: r.Percentile(q), Fraction: q / 100})
+	}
+	return out
+}
+
+// Latencies returns the raw weighted-expanded latency list, capped at
+// maxN values (uniformly strided) to bound memory. Used by the
+// statistical tests.
+func (r *Recorder) Latencies() []float64 {
+	out := make([]float64, 0, len(r.samples))
+	for _, s := range r.samples {
+		out = append(out, s.Latency)
+	}
+	return out
+}
+
+// completedWithin restricts to requests that finished by the horizon
+// (excluding the post-trace drain). A zero horizon keeps everything.
+func (r *Recorder) completedWithin(horizon float64) *Recorder {
+	if horizon <= 0 {
+		return r
+	}
+	return r.Filter(func(s Sample) bool { return s.Completed <= horizon })
+}
+
+// Throughput returns strict requests served per GPU per second within
+// the horizon — the metric of Figure 10a. Backlogged schemes that only
+// finish work during the final drain score lower, as on a real cluster.
+func (r *Recorder) Throughput(duration float64, gpus int, horizon float64) float64 {
+	if duration <= 0 || gpus <= 0 {
+		return 0
+	}
+	return float64(r.completedWithin(horizon).Strict().Requests()) / duration / float64(gpus)
+}
+
+// TotalThroughput returns all requests served per GPU per second within
+// the horizon.
+func (r *Recorder) TotalThroughput(duration float64, gpus int, horizon float64) float64 {
+	if duration <= 0 || gpus <= 0 {
+		return 0
+	}
+	return float64(r.completedWithin(horizon).Requests()) / duration / float64(gpus)
+}
+
+// Summary bundles the headline numbers for one scheme/model cell.
+type Summary struct {
+	SLOCompliance float64       `json:"sloCompliance"`
+	P50           float64       `json:"p50Seconds"`
+	P99           float64       `json:"p99Seconds"`
+	Mean          float64       `json:"meanSeconds"`
+	P99Breakdown  gpu.Breakdown `json:"p99Breakdown"`
+	Requests      int           `json:"requests"`
+}
+
+// Summarize computes the standard summary over the recorder's strict
+// samples (the paper's headline metrics are strict-only).
+func (r *Recorder) Summarize() Summary {
+	strict := r.Strict()
+	return Summary{
+		SLOCompliance: r.SLOCompliance(),
+		P50:           strict.Percentile(50),
+		P99:           strict.Percentile(99),
+		Mean:          strict.Mean(),
+		P99Breakdown:  strict.BreakdownAtPercentile(99),
+		Requests:      strict.Requests(),
+	}
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("SLO %.2f%%, P50 %.1fms, P99 %.1fms over %d reqs",
+		s.SLOCompliance*100, s.P50*1000, s.P99*1000, s.Requests)
+}
+
+// ErrTooFewSamples reports statistics requested on degenerate inputs.
+var ErrTooFewSamples = errors.New("metrics: too few samples")

@@ -1,0 +1,272 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"protean/internal/gpu"
+)
+
+func TestZooHas22Models(t *testing.T) {
+	if got := len(All()); got != 22 {
+		t.Fatalf("zoo has %d models, want 22", got)
+	}
+	if got := len(Vision()); got != 12 {
+		t.Errorf("vision models = %d, want 12", got)
+	}
+	if got := len(Language()); got != 8 {
+		t.Errorf("encoder LLMs = %d, want 8", got)
+	}
+	if got := len(Generative()); got != 2 {
+		t.Errorf("generative LLMs = %d, want 2", got)
+	}
+	if got := len(VisionLI()); got != 8 {
+		t.Errorf("LI vision models = %d, want 8", got)
+	}
+	if got := len(VisionHI()); got != 4 {
+		t.Errorf("HI vision models = %d, want 4", got)
+	}
+}
+
+func TestSoloLatenciesInPaperBand(t *testing.T) {
+	// §5: batch sizes chosen so execution on 7g is ~50–200 ms.
+	for _, m := range All() {
+		solo := m.Solo7g()
+		if solo < 0.050 || solo > 0.200 {
+			t.Errorf("%s solo latency %.3fs outside [0.05, 0.2]", m.Name(), solo)
+		}
+	}
+}
+
+func TestBatchSizesMatchPaper(t *testing.T) {
+	for _, m := range All() {
+		want := 128
+		if m.Domain() == DomainLanguage {
+			want = 4
+		}
+		if m.BatchSize() != want {
+			t.Errorf("%s batch size = %d, want %d", m.Name(), m.BatchSize(), want)
+		}
+	}
+}
+
+func TestFBRClassOrdering(t *testing.T) {
+	maxLI, minHI := 0.0, math.Inf(1)
+	for _, m := range VisionLI() {
+		maxLI = math.Max(maxLI, m.FBR())
+	}
+	for _, m := range VisionHI() {
+		minHI = math.Min(minHI, m.FBR())
+	}
+	if maxLI >= minHI {
+		t.Errorf("LI max FBR %v >= HI min FBR %v", maxLI, minHI)
+	}
+	// VHI (LLMs) above the vision average; GPTs the highest of all.
+	visionAvg := 0.0
+	for _, m := range Vision() {
+		visionAvg += m.FBR()
+	}
+	visionAvg /= float64(len(Vision()))
+	for _, m := range Language() {
+		if m.FBR() <= visionAvg {
+			t.Errorf("VHI model %s FBR %v not above vision average %v", m.Name(), m.FBR(), visionAvg)
+		}
+	}
+	maxEncoder := 0.0
+	for _, m := range Language() {
+		maxEncoder = math.Max(maxEncoder, m.FBR())
+	}
+	for _, m := range Generative() {
+		if m.FBR() <= maxEncoder {
+			t.Errorf("GPT model %s FBR %v not above encoder max %v", m.Name(), m.FBR(), maxEncoder)
+		}
+	}
+}
+
+func TestDPN92MemoryFootprint(t *testing.T) {
+	// §6.1.1: DPN 92 has up to a 2.74× larger footprint than the other
+	// models in its experiment.
+	dpn := MustByName("DPN 92")
+	resnet := MustByName("ResNet 50")
+	ratio := dpn.MemGB(gpu.Profile7g) / resnet.MemGB(gpu.Profile7g)
+	if ratio < 2.5 || ratio > 3.0 {
+		t.Errorf("DPN 92 / ResNet 50 memory ratio = %.2f, want ≈2.74", ratio)
+	}
+}
+
+func TestRDFMonotoneInSliceSize(t *testing.T) {
+	order := []gpu.Profile{gpu.Profile7g, gpu.Profile4g, gpu.Profile3g, gpu.Profile2g, gpu.Profile1g}
+	for _, m := range All() {
+		prev := 0.0
+		for _, p := range order {
+			rdf := m.RDF(p)
+			if rdf < 1 {
+				t.Errorf("%s RDF(%s) = %v < 1", m.Name(), p.Name, rdf)
+			}
+			if rdf < prev {
+				t.Errorf("%s RDF not monotone: RDF(%s)=%v < previous %v", m.Name(), p.Name, rdf, prev)
+			}
+			prev = rdf
+		}
+		if m.RDF(gpu.Profile7g) != 1 {
+			t.Errorf("%s RDF(7g) = %v, want 1", m.Name(), m.RDF(gpu.Profile7g))
+		}
+	}
+}
+
+func TestALBERTDeficiencyAnecdote(t *testing.T) {
+	// §2.2: ALBERT's batch execution time grows ~2.15× from resource
+	// deficiency on small slices (anchored here to 2g; see
+	// EXPERIMENTS.md for the calibration rationale).
+	albert := MustByName("ALBERT")
+	got := albert.RDF(gpu.Profile2g)
+	if math.Abs(got-2.15) > 0.25 {
+		t.Errorf("ALBERT RDF(2g) = %.2f, want ≈2.15", got)
+	}
+}
+
+func TestShuffleNetBarelySensitiveToDeficiency(t *testing.T) {
+	// §6.2: ShuffleNet V2 is barely (<2%) affected by resource
+	// deficiency on mid-size slices.
+	m := MustByName("ShuffleNet V2")
+	if rdf := m.RDF(gpu.Profile4g); rdf > 1.03 {
+		t.Errorf("ShuffleNet V2 RDF(4g) = %v, want <= 1.03", rdf)
+	}
+}
+
+func TestMemShrinksOnPartialSlices(t *testing.T) {
+	m := MustByName("ResNet 50")
+	full := m.MemGB(gpu.Profile7g)
+	part := m.MemGB(gpu.Profile3g)
+	if part >= full {
+		t.Errorf("memory on 3g (%v) not below 7g (%v)", part, full)
+	}
+}
+
+func TestSLOTarget(t *testing.T) {
+	m := MustByName("ResNet 50")
+	if got, want := m.SLO(3), 3*m.Solo7g(); got != want {
+		t.Errorf("SLO(3) = %v, want %v", got, want)
+	}
+	if got, want := m.SLO(2), 2*m.Solo7g(); got != want {
+		t.Errorf("SLO(2) = %v, want %v", got, want)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("ResNet 50"); !ok {
+		t.Error("ResNet 50 missing")
+	}
+	if _, ok := ByName("NoSuchNet"); ok {
+		t.Error("NoSuchNet found")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustByName on unknown model did not panic")
+		}
+	}()
+	MustByName("NoSuchNet")
+}
+
+func TestOppositeClassPool(t *testing.T) {
+	tests := []struct {
+		strict string
+		want   Class
+	}{
+		{"ShuffleNet V2", ClassHI},
+		{"ResNet 50", ClassLI},
+	}
+	for _, tt := range tests {
+		pool := OppositeClassPool(MustByName(tt.strict))
+		if len(pool) == 0 {
+			t.Fatalf("empty pool for %s", tt.strict)
+		}
+		for _, m := range pool {
+			if m.Class() != tt.want {
+				t.Errorf("pool for %s contains %s of class %s, want %s", tt.strict, m.Name(), m.Class(), tt.want)
+			}
+		}
+	}
+	// Language strict models rotate over the other encoder LLMs.
+	pool := OppositeClassPool(MustByName("GPT-1"))
+	for _, m := range pool {
+		if m.Name() == "GPT-1" {
+			t.Error("pool for GPT-1 contains GPT-1 itself")
+		}
+		if m.Domain() != DomainLanguage {
+			t.Errorf("pool for GPT-1 contains non-language model %s", m.Name())
+		}
+	}
+	if len(pool) != 8 {
+		t.Errorf("GPT-1 pool size = %d, want 8 encoder LLMs", len(pool))
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		build   func() (*Model, error)
+		wantErr bool
+	}{
+		{"valid", func() (*Model, error) {
+			return New("x", DomainVision, ClassLI, 8, 0.1, 0.2, 0.5, 2, 0.1, 0.5, 0.5)
+		}, false},
+		{"empty name", func() (*Model, error) {
+			return New("", DomainVision, ClassLI, 8, 0.1, 0.2, 0.5, 2, 0.1, 0.5, 0.5)
+		}, true},
+		{"zero batch", func() (*Model, error) {
+			return New("x", DomainVision, ClassLI, 0, 0.1, 0.2, 0.5, 2, 0.1, 0.5, 0.5)
+		}, true},
+		{"negative solo", func() (*Model, error) {
+			return New("x", DomainVision, ClassLI, 8, -1, 0.2, 0.5, 2, 0.1, 0.5, 0.5)
+		}, true},
+		{"negative fbr", func() (*Model, error) {
+			return New("x", DomainVision, ClassLI, 8, 0.1, -0.2, 0.5, 2, 0.1, 0.5, 0.5)
+		}, true},
+		{"memory too large", func() (*Model, error) {
+			return New("x", DomainVision, ClassLI, 8, 0.1, 0.2, 0.5, 41, 0.1, 0.5, 0.5)
+		}, true},
+		{"negative sensitivity", func() (*Model, error) {
+			return New("x", DomainVision, ClassLI, 8, 0.1, 0.2, 0.5, 2, -0.1, 0.5, 0.5)
+		}, true},
+		{"bad compute demand", func() (*Model, error) {
+			return New("x", DomainVision, ClassLI, 8, 0.1, 0.2, 1.5, 2, 0.1, 0.5, 0.5)
+		}, true},
+		{"bad pollution", func() (*Model, error) {
+			return New("x", DomainVision, ClassLI, 8, 0.1, 0.2, 0.5, 2, 0.1, 1.5, 0.5)
+		}, true},
+		{"bad sensitivity", func() (*Model, error) {
+			return New("x", DomainVision, ClassLI, 8, 0.1, 0.2, 0.5, 2, 0.1, 0.5, -0.5)
+		}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := tt.build()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestAllModelsFitSomeSlice(t *testing.T) {
+	// Every model must fit at least the 4g slice so the (4g, 3g)
+	// fallback geometry can always serve it.
+	for _, m := range All() {
+		if m.MemGB(gpu.Profile4g) > gpu.Profile4g.MemGB {
+			t.Errorf("%s does not fit a 4g slice (%.1f GB)", m.Name(), m.MemGB(gpu.Profile4g))
+		}
+	}
+}
+
+func TestClassAndDomainStrings(t *testing.T) {
+	if ClassLI.String() != "LI" || ClassHI.String() != "HI" || ClassVHI.String() != "VHI" {
+		t.Error("class strings wrong")
+	}
+	if Class(99).String() == "" || Domain(99).String() == "" {
+		t.Error("unknown enum should still render")
+	}
+	if DomainVision.String() != "vision" || DomainLanguage.String() != "language" {
+		t.Error("domain strings wrong")
+	}
+}

@@ -1,0 +1,231 @@
+package queue
+
+import (
+	"testing"
+
+	"protean/internal/model"
+	"protean/internal/sim"
+	"protean/internal/trace"
+)
+
+func req(m *model.Model, strict bool, at float64, id uint64) trace.Request {
+	return trace.Request{ID: id, Model: m, Strict: strict, Arrival: at}
+}
+
+func TestBatcherSealsFullBatch(t *testing.T) {
+	s := sim.New(1)
+	m := model.MustByName("ALBERT") // batch size 4
+	var got []*Batch
+	b, err := NewBatcher(s, 1.0, func(batch *Batch) { got = append(got, batch) })
+	if err != nil {
+		t.Fatalf("NewBatcher: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := b.Add(req(m, true, 0, uint64(i))); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if len(got) != 1 {
+		t.Fatalf("batches = %d, want 1 (sealed on fill)", len(got))
+	}
+	if got[0].Size() != 4 || !got[0].Strict || got[0].Model != m {
+		t.Errorf("batch = %v", got[0])
+	}
+	if b.Pending() != 0 {
+		t.Errorf("pending = %d, want 0", b.Pending())
+	}
+}
+
+func TestBatcherWindowSealsPartialBatch(t *testing.T) {
+	s := sim.New(1)
+	m := model.MustByName("ResNet 50") // batch size 128
+	var got []*Batch
+	b, err := NewBatcher(s, 0.05, func(batch *Batch) { got = append(got, batch) })
+	if err != nil {
+		t.Fatalf("NewBatcher: %v", err)
+	}
+	if err := b.Add(req(m, true, 0, 1)); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("batches = %d, want 1 (window expiry)", len(got))
+	}
+	if got[0].Sealed != 0.05 {
+		t.Errorf("sealed at %v, want 0.05", got[0].Sealed)
+	}
+	if got[0].Size() != 1 {
+		t.Errorf("size = %d, want 1", got[0].Size())
+	}
+}
+
+func TestBatcherSeparatesStrictAndBE(t *testing.T) {
+	s := sim.New(1)
+	m := model.MustByName("ALBERT")
+	var got []*Batch
+	b, _ := NewBatcher(s, 0.05, func(batch *Batch) { got = append(got, batch) })
+	for i := 0; i < 4; i++ {
+		if err := b.Add(req(m, i%2 == 0, 0, uint64(i))); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("batches = %d, want 2 (strict and BE separately)", len(got))
+	}
+	for _, batch := range got {
+		for _, r := range batch.Requests {
+			if r.Strict != batch.Strict {
+				t.Errorf("mixed strictness inside %v", batch)
+			}
+		}
+	}
+}
+
+func TestBatcherSeparatesModels(t *testing.T) {
+	s := sim.New(1)
+	a, b2 := model.MustByName("ALBERT"), model.MustByName("BERT")
+	var got []*Batch
+	b, _ := NewBatcher(s, 0.05, func(batch *Batch) { got = append(got, batch) })
+	for i := 0; i < 4; i++ {
+		m := a
+		if i%2 == 1 {
+			m = b2
+		}
+		if err := b.Add(req(m, true, 0, uint64(i))); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("batches = %d, want 2 (per model)", len(got))
+	}
+}
+
+func TestBatcherFlush(t *testing.T) {
+	s := sim.New(1)
+	m := model.MustByName("ResNet 50")
+	var got []*Batch
+	b, _ := NewBatcher(s, 100, func(batch *Batch) { got = append(got, batch) })
+	if err := b.Add(req(m, false, 0, 1)); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if b.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", b.Pending())
+	}
+	b.Flush()
+	if len(got) != 1 || b.Pending() != 0 {
+		t.Errorf("after flush: batches=%d pending=%d", len(got), b.Pending())
+	}
+	// The window timer must not double-emit later.
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 1 {
+		t.Errorf("window timer re-emitted: %d batches", len(got))
+	}
+}
+
+func TestBatcherValidation(t *testing.T) {
+	s := sim.New(1)
+	if _, err := NewBatcher(nil, 1, func(*Batch) {}); err == nil {
+		t.Error("nil sim accepted")
+	}
+	if _, err := NewBatcher(s, 0, func(*Batch) {}); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewBatcher(s, 1, nil); err == nil {
+		t.Error("nil emit accepted")
+	}
+	b, _ := NewBatcher(s, 1, func(*Batch) {})
+	if err := b.Add(trace.Request{}); err == nil {
+		t.Error("request without model accepted")
+	}
+}
+
+func TestReorderQueueStrictFirst(t *testing.T) {
+	q := NewReorderQueue(true)
+	m := model.MustByName("ResNet 50")
+	be := &Batch{Model: m, Strict: false}
+	st := &Batch{Model: m, Strict: true}
+	q.Push(be)
+	q.Push(st)
+	got, ok := q.Pop()
+	if !ok || got != st {
+		t.Errorf("Pop = %v, want the strict batch first", got)
+	}
+	got, ok = q.Pop()
+	if !ok || got != be {
+		t.Errorf("second Pop = %v, want the BE batch", got)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue returned ok")
+	}
+}
+
+func TestReorderQueueFIFOWithinClass(t *testing.T) {
+	q := NewReorderQueue(true)
+	m := model.MustByName("ResNet 50")
+	first := &Batch{Model: m, Strict: true}
+	second := &Batch{Model: m, Strict: true}
+	q.Push(first)
+	q.Push(second)
+	if got, _ := q.Pop(); got != first {
+		t.Error("strict batches not FIFO")
+	}
+}
+
+func TestReorderQueueDisabledIsGlobalFIFO(t *testing.T) {
+	q := NewReorderQueue(false)
+	m := model.MustByName("ResNet 50")
+	be := &Batch{Model: m, Strict: false}
+	st := &Batch{Model: m, Strict: true}
+	q.Push(be)
+	q.Push(st)
+	if got, _ := q.Pop(); got != be {
+		t.Error("FIFO queue reordered across classes")
+	}
+	if got, _ := q.Pop(); got != st {
+		t.Error("FIFO queue lost the strict batch")
+	}
+}
+
+func TestReorderQueueBEAccounting(t *testing.T) {
+	q := NewReorderQueue(true)
+	r50 := model.MustByName("ResNet 50")
+	dpn := model.MustByName("DPN 92")
+	q.Push(&Batch{Model: r50, Strict: false})
+	q.Push(&Batch{Model: dpn, Strict: false})
+	q.Push(&Batch{Model: r50, Strict: true})
+	if got := q.BECount(); got != 2 {
+		t.Errorf("BECount = %d, want 2", got)
+	}
+	memOf := func(m *model.Model) float64 { return 1 }
+	if got := q.BEMemGB(memOf); got != 2 {
+		t.Errorf("BEMemGB = %v, want 2", got)
+	}
+	if got := q.Len(); got != 3 {
+		t.Errorf("Len = %d, want 3", got)
+	}
+	if got := q.StrictLen(); got != 1 {
+		t.Errorf("StrictLen = %d, want 1", got)
+	}
+}
+
+func TestBatchFirstArrival(t *testing.T) {
+	m := model.MustByName("ResNet 50")
+	b := &Batch{Model: m, Requests: []trace.Request{{Arrival: 1.5}, {Arrival: 2.0}}, Sealed: 2.5}
+	if got := b.FirstArrival(); got != 1.5 {
+		t.Errorf("FirstArrival = %v, want 1.5", got)
+	}
+	empty := &Batch{Model: m, Sealed: 3}
+	if got := empty.FirstArrival(); got != 3 {
+		t.Errorf("empty FirstArrival = %v, want sealed time", got)
+	}
+}

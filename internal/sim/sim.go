@@ -1,0 +1,236 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All of PROTEAN's substrates (the GPU model, the cluster, the spot-VM
+// market) run in virtual time on top of this engine. Time is measured in
+// seconds as float64. Events scheduled for the same instant fire in the
+// order they were scheduled, which makes every experiment exactly
+// reproducible for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrStopped is returned by Run variants when the simulation was halted
+// explicitly via Stop before the requested horizon was reached.
+var ErrStopped = errors.New("simulation stopped")
+
+// Timer is a handle to a scheduled event. It can be cancelled until it
+// fires.
+type Timer struct {
+	at        float64
+	seq       uint64
+	fn        func()
+	index     int // heap index; -1 when not queued
+	cancelled bool
+}
+
+// At reports the virtual time the timer is scheduled to fire at.
+func (t *Timer) At() float64 { return t.at }
+
+// Active reports whether the timer is still pending (not fired, not
+// cancelled).
+func (t *Timer) Active() bool { return t != nil && !t.cancelled && t.index >= 0 }
+
+// Cancel prevents the timer from firing. It reports whether the timer was
+// still pending. Cancelling an already-fired or already-cancelled timer is
+// a no-op.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.cancelled || t.index < 0 {
+		return false
+	}
+	t.cancelled = true
+	return true
+}
+
+// Sim is a discrete-event simulator. The zero value is not usable; use New.
+type Sim struct {
+	now     float64
+	seq     uint64
+	queue   timerHeap
+	rng     *rand.Rand
+	stopped bool
+}
+
+// New returns a simulator whose random source is seeded with seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at virtual time t. Scheduling in the past is an
+// error; scheduling exactly at Now is allowed and fires before time
+// advances.
+func (s *Sim) At(t float64, fn func()) (*Timer, error) {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("sim: schedule at non-finite time %v", t)
+	}
+	if t < s.now {
+		return nil, fmt.Errorf("sim: schedule at %.9f before now %.9f", t, s.now)
+	}
+	if fn == nil {
+		return nil, errors.New("sim: schedule nil func")
+	}
+	tm := &Timer{at: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, tm)
+	return tm, nil
+}
+
+// After schedules fn to run d seconds from now. Negative delays are
+// clamped to zero.
+func (s *Sim) After(d float64, fn func()) (*Timer, error) {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// MustAfter is After for callers that schedule with non-negative, finite
+// delays computed internally; it panics on the programming errors After
+// would report.
+func (s *Sim) MustAfter(d float64, fn func()) *Timer {
+	tm, err := s.After(d, fn)
+	if err != nil {
+		panic(err)
+	}
+	return tm
+}
+
+// Stop halts the simulation after the currently executing event returns.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Pending returns the number of queued (uncancelled) events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, tm := range s.queue {
+		if !tm.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes events until the queue is empty or Stop is called. It
+// returns ErrStopped in the latter case.
+func (s *Sim) Run() error { return s.RunUntil(math.Inf(1)) }
+
+// RunUntil executes events with timestamps <= horizon, advancing the clock
+// as it goes. When it returns the clock is at min(horizon, last event time)
+// unless the queue drained earlier. It returns ErrStopped if Stop was
+// called.
+func (s *Sim) RunUntil(horizon float64) error {
+	s.stopped = false
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		next := s.queue[0]
+		if next.cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at > horizon {
+			s.now = horizon
+			return nil
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		next.fn()
+	}
+	if !math.IsInf(horizon, 1) && horizon > s.now {
+		s.now = horizon
+	}
+	return nil
+}
+
+// Ticker invokes a function on a fixed period until stopped.
+type Ticker struct {
+	sim      *Sim
+	period   float64
+	fn       func()
+	timer    *Timer
+	stopped  bool
+	fireNext func()
+}
+
+// Every schedules fn to run every period seconds, first firing one period
+// from now. Period must be positive.
+func (s *Sim) Every(period float64, fn func()) (*Ticker, error) {
+	if period <= 0 || math.IsNaN(period) || math.IsInf(period, 0) {
+		return nil, fmt.Errorf("sim: ticker period %v must be positive and finite", period)
+	}
+	if fn == nil {
+		return nil, errors.New("sim: ticker nil func")
+	}
+	tk := &Ticker{sim: s, period: period, fn: fn}
+	tk.fireNext = func() {
+		if tk.stopped {
+			return
+		}
+		tk.fn()
+		if tk.stopped {
+			return
+		}
+		tk.timer = s.MustAfter(tk.period, tk.fireNext)
+	}
+	tk.timer = s.MustAfter(period, tk.fireNext)
+	return tk, nil
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	if t == nil || t.stopped {
+		return
+	}
+	t.stopped = true
+	t.timer.Cancel()
+}
+
+// timerHeap orders timers by (time, sequence).
+type timerHeap []*Timer
+
+var _ heap.Interface = (*timerHeap)(nil)
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *timerHeap) Push(x any) {
+	tm, ok := x.(*Timer)
+	if !ok {
+		return
+	}
+	tm.index = len(*h)
+	*h = append(*h, tm)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	tm.index = -1
+	*h = old[:n-1]
+	return tm
+}

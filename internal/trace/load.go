@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"protean/internal/model"
+)
+
+// LoadCSV reads a request trace from CSV with the header
+//
+//	arrival_seconds,model,strict
+//
+// where strict is "1"/"true" or "0"/"false". Rows may appear in any
+// order; the returned requests are sorted by arrival and re-IDed.
+// Unknown model names are an error so a typo cannot silently drop load.
+func LoadCSV(r io.Reader) ([]Request, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	cr.TrimLeadingSpace = true
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read CSV header: %w", err)
+	}
+	want := []string{"arrival_seconds", "model", "strict"}
+	for i, col := range want {
+		if i >= len(header) || strings.TrimSpace(strings.ToLower(header[i])) != col {
+			return nil, fmt.Errorf("trace: CSV header %v, want %v", header, want)
+		}
+	}
+
+	var out []Request
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d: %w", line, err)
+		}
+		arrival, err := strconv.ParseFloat(strings.TrimSpace(rec[0]), 64)
+		if err != nil || arrival < 0 {
+			return nil, fmt.Errorf("trace: CSV line %d: bad arrival %q", line, rec[0])
+		}
+		m, ok := model.ByName(strings.TrimSpace(rec[1]))
+		if !ok {
+			return nil, fmt.Errorf("trace: CSV line %d: unknown model %q", line, rec[1])
+		}
+		strict, err := parseBool(strings.TrimSpace(rec[2]))
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d: %w", line, err)
+		}
+		out = append(out, Request{Model: m, Strict: strict, Arrival: arrival})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
+	for i := range out {
+		out[i].ID = uint64(i)
+	}
+	return out, nil
+}
+
+func parseBool(s string) (bool, error) {
+	switch strings.ToLower(s) {
+	case "1", "true", "t", "yes", "strict":
+		return true, nil
+	case "0", "false", "f", "no", "be":
+		return false, nil
+	default:
+		return false, fmt.Errorf("bad strict flag %q", s)
+	}
+}
+
+// WriteCSV writes requests in the LoadCSV format.
+func WriteCSV(w io.Writer, reqs []Request) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"arrival_seconds", "model", "strict"}); err != nil {
+		return fmt.Errorf("trace: write CSV header: %w", err)
+	}
+	for _, r := range reqs {
+		if r.Model == nil {
+			return errors.New("trace: request without model")
+		}
+		strict := "0"
+		if r.Strict {
+			strict = "1"
+		}
+		rec := []string{
+			strconv.FormatFloat(r.Arrival, 'f', 6, 64),
+			r.Model.Name(),
+			strict,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RateFromCounts converts per-bin request counts (e.g. the published
+// Wikipedia per-hour page view series) into a piecewise-constant rate
+// function over [0, len(counts)·binSeconds), the way §5 replays the
+// public traces.
+func RateFromCounts(counts []float64, binSeconds float64) (RateFn, error) {
+	if len(counts) == 0 {
+		return nil, errors.New("trace: no count bins")
+	}
+	if binSeconds <= 0 {
+		return nil, fmt.Errorf("trace: bin width %v must be positive", binSeconds)
+	}
+	rates := make([]float64, len(counts))
+	for i, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("trace: negative count in bin %d", i)
+		}
+		rates[i] = c / binSeconds
+	}
+	total := binSeconds * float64(len(rates))
+	return func(t float64) float64 {
+		if t < 0 || t >= total {
+			return 0
+		}
+		return rates[int(t/binSeconds)]
+	}, nil
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"protean/internal/model"
+)
+
+func TestLoadCSVRoundTrip(t *testing.T) {
+	orig := []Request{
+		{Model: model.MustByName("ResNet 50"), Strict: true, Arrival: 0.5},
+		{Model: model.MustByName("ShuffleNet V2"), Strict: false, Arrival: 1.25},
+		{Model: model.MustByName("ALBERT"), Strict: true, Arrival: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := LoadCSV(&buf)
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("loaded %d requests, want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i].Model != orig[i].Model || got[i].Strict != orig[i].Strict ||
+			math.Abs(got[i].Arrival-orig[i].Arrival) > 1e-6 {
+			t.Errorf("request %d = %+v, want %+v", i, got[i], orig[i])
+		}
+		if got[i].ID != uint64(i) {
+			t.Errorf("request %d ID = %d, want %d", i, got[i].ID, i)
+		}
+	}
+}
+
+func TestLoadCSVSortsUnorderedRows(t *testing.T) {
+	in := strings.NewReader(
+		"arrival_seconds,model,strict\n" +
+			"5.0,ResNet 50,1\n" +
+			"1.0,ResNet 50,0\n" +
+			"3.0,BERT,true\n")
+	got, err := LoadCSV(in)
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Arrival < got[i-1].Arrival {
+			t.Fatal("requests not sorted by arrival")
+		}
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		data string
+	}{
+		{"empty", ""},
+		{"bad header", "time,model,strict\n1,ResNet 50,1\n"},
+		{"unknown model", "arrival_seconds,model,strict\n1,NoSuchNet,1\n"},
+		{"negative arrival", "arrival_seconds,model,strict\n-1,ResNet 50,1\n"},
+		{"bad arrival", "arrival_seconds,model,strict\nx,ResNet 50,1\n"},
+		{"bad strict", "arrival_seconds,model,strict\n1,ResNet 50,maybe\n"},
+		{"short row", "arrival_seconds,model,strict\n1,ResNet 50\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := LoadCSV(strings.NewReader(tt.data)); err == nil {
+				t.Error("LoadCSV succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestLoadCSVBoolSpellings(t *testing.T) {
+	in := strings.NewReader(
+		"arrival_seconds,model,strict\n" +
+			"1,ResNet 50,strict\n" +
+			"2,ResNet 50,be\n" +
+			"3,ResNet 50,TRUE\n" +
+			"4,ResNet 50,no\n")
+	got, err := LoadCSV(in)
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	want := []bool{true, false, true, false}
+	for i, r := range got {
+		if r.Strict != want[i] {
+			t.Errorf("row %d strict = %v, want %v", i, r.Strict, want[i])
+		}
+	}
+}
+
+func TestWriteCSVRejectsNilModel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []Request{{Arrival: 1}}); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestRateFromCounts(t *testing.T) {
+	// 3 hourly bins of 3600, 7200, 0 requests → 1, 2, 0 rps.
+	fn, err := RateFromCounts([]float64{3600, 7200, 0}, 3600)
+	if err != nil {
+		t.Fatalf("RateFromCounts: %v", err)
+	}
+	tests := []struct{ t, want float64 }{
+		{0, 1}, {3599, 1}, {3600, 2}, {7199, 2}, {7200, 0}, {10799, 0},
+		{-1, 0}, {10800, 0}, // out of range
+	}
+	for _, tt := range tests {
+		if got := fn(tt.t); got != tt.want {
+			t.Errorf("rate(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestRateFromCountsValidation(t *testing.T) {
+	if _, err := RateFromCounts(nil, 60); err == nil {
+		t.Error("empty counts accepted")
+	}
+	if _, err := RateFromCounts([]float64{1}, 0); err == nil {
+		t.Error("zero bin width accepted")
+	}
+	if _, err := RateFromCounts([]float64{-5}, 60); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestRateFromCountsFeedsGenerate(t *testing.T) {
+	fn, err := RateFromCounts([]float64{3000, 6000}, 10) // 300 rps then 600 rps
+	if err != nil {
+		t.Fatalf("RateFromCounts: %v", err)
+	}
+	reqs, err := Generate(Config{
+		Rate:     fn,
+		Mix:      Mix{StrictFrac: 1, Strict: model.MustByName("ResNet 50")},
+		Duration: 20,
+		Seed:     4,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	first, second := 0, 0
+	for _, r := range reqs {
+		if r.Arrival < 10 {
+			first++
+		} else {
+			second++
+		}
+	}
+	ratio := float64(second) / float64(first)
+	if math.Abs(ratio-2) > 0.3 {
+		t.Errorf("second/first bin ratio = %.2f, want ≈2", ratio)
+	}
+}

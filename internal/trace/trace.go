@@ -1,0 +1,241 @@
+// Package trace generates the request arrival processes of §5: a
+// Wikipedia-like diurnal trace (peak:mean ≈ 316:303), a Twitter-like
+// erratic trace (peak:mean ≈ 4561:2969), and constant-rate traces for the
+// motivational experiments. Arrivals are a non-homogeneous Poisson
+// process sampled by thinning, mixed into strict and best-effort (BE)
+// request streams with a rotating BE model (every ~20 s).
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"protean/internal/model"
+)
+
+// Request is one user invocation arriving at the gateway.
+type Request struct {
+	// ID is unique within one generated trace.
+	ID uint64
+	// Model is the invoked inference model.
+	Model *model.Model
+	// Strict marks requests with a hard SLO deadline; others are best
+	// effort.
+	Strict bool
+	// Arrival is the virtual arrival time in seconds.
+	Arrival float64
+}
+
+// RateFn maps virtual time to an instantaneous request rate (rps).
+type RateFn func(t float64) float64
+
+// Constant returns a flat rate.
+func Constant(rps float64) RateFn {
+	return func(float64) float64 { return rps }
+}
+
+// Diurnal returns a Wikipedia-like smooth diurnal rate: a sinusoid around
+// mean with the given peak-to-mean ratio over one period. The paper's
+// Wiki trace has peak:mean ≈ 316:303 ≈ 1.04.
+func Diurnal(mean, peakToMean, period float64) RateFn {
+	amp := mean * (peakToMean - 1)
+	return func(t float64) float64 {
+		v := mean + amp*math.Sin(2*math.Pi*t/period)
+		return math.Max(0, v)
+	}
+}
+
+// DefaultWikiPeakToMean is the Wiki trace's peak:mean ratio (316:303).
+const DefaultWikiPeakToMean = 316.0 / 303.0
+
+// DefaultTwitterPeakToMean is the Twitter trace's peak:mean ratio
+// (4561:2969).
+const DefaultTwitterPeakToMean = 4561.0 / 2969.0
+
+// Erratic returns a Twitter-like bursty rate: a base load with randomly
+// placed surges reaching peakToMean × mean. Spike placement is
+// deterministic in seed.
+func Erratic(mean, peakToMean, duration float64, seed int64) RateFn {
+	rng := rand.New(rand.NewSource(seed))
+	type spike struct{ start, dur, factor float64 }
+	// Roughly 20% of the time is spent in surges; the base rate is set
+	// so the average stays ≈ mean.
+	nSpikes := int(math.Max(1, duration/30))
+	spikes := make([]spike, 0, nSpikes)
+	for i := 0; i < nSpikes; i++ {
+		spikes = append(spikes, spike{
+			start:  rng.Float64() * duration,
+			dur:    2 + rng.Float64()*6,
+			factor: 1 + (peakToMean-1)*(0.6+0.4*rng.Float64()),
+		})
+	}
+	spikeTime := 0.0
+	spikeWeight := 0.0
+	for _, sp := range spikes {
+		spikeTime += sp.dur
+		spikeWeight += sp.dur * sp.factor
+	}
+	// base solves base*((duration - spikeTime) + spikeWeight) = mean*duration.
+	denom := (duration - spikeTime) + spikeWeight
+	base := mean
+	if denom > 0 {
+		base = mean * duration / denom
+	}
+	return func(t float64) float64 {
+		v := base
+		for _, sp := range spikes {
+			if t >= sp.start && t < sp.start+sp.dur {
+				v = math.Max(v, base*sp.factor)
+			}
+		}
+		return v
+	}
+}
+
+// Mix configures the strict/BE composition of a trace.
+type Mix struct {
+	// StrictFrac is the fraction of strict requests (0.5 by default in
+	// the paper, 0.75/0.25 in the skew study, 1 or 0 in the extremes).
+	StrictFrac float64
+	// Strict is the model all strict requests invoke.
+	Strict *model.Model
+	// BEPool is the set of models BE requests rotate over. If empty, BE
+	// requests also invoke Strict.
+	BEPool []*model.Model
+	// RotatePeriod is how often the active BE model changes (~20 s).
+	RotatePeriod float64
+}
+
+// Validate checks the mix configuration.
+func (m Mix) Validate() error {
+	if m.StrictFrac < 0 || m.StrictFrac > 1 {
+		return fmt.Errorf("trace: strict fraction %v out of [0, 1]", m.StrictFrac)
+	}
+	if m.Strict == nil && m.StrictFrac > 0 {
+		return errors.New("trace: strict model required when strict fraction > 0")
+	}
+	if m.StrictFrac < 1 && m.Strict == nil && len(m.BEPool) == 0 {
+		return errors.New("trace: BE pool or strict model required")
+	}
+	return nil
+}
+
+// Config describes one trace to generate.
+type Config struct {
+	// Rate is the arrival-rate profile.
+	Rate RateFn
+	// Mix composes strict and BE streams.
+	Mix Mix
+	// Duration is the trace length in seconds.
+	Duration float64
+	// Seed drives arrival sampling and BE rotation.
+	Seed int64
+}
+
+// Generate samples the arrival process and returns requests sorted by
+// arrival time.
+func Generate(cfg Config) ([]Request, error) {
+	if cfg.Rate == nil {
+		return nil, errors.New("trace: nil rate function")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("trace: duration %v must be positive", cfg.Duration)
+	}
+	if err := cfg.Mix.Validate(); err != nil {
+		return nil, err
+	}
+	rotate := cfg.Mix.RotatePeriod
+	if rotate <= 0 {
+		rotate = 20
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Pre-draw the BE rotation schedule so model choice does not perturb
+	// arrival sampling.
+	nSlots := int(cfg.Duration/rotate) + 1
+	beSchedule := make([]*model.Model, nSlots)
+	for i := range beSchedule {
+		if len(cfg.Mix.BEPool) > 0 {
+			beSchedule[i] = cfg.Mix.BEPool[rng.Intn(len(cfg.Mix.BEPool))]
+		} else {
+			beSchedule[i] = cfg.Mix.Strict
+		}
+	}
+
+	rateMax := peakRate(cfg.Rate, cfg.Duration)
+	if rateMax <= 0 {
+		return nil, errors.New("trace: rate function is zero everywhere")
+	}
+
+	var out []Request
+	var id uint64
+	t := 0.0
+	for {
+		// Thinning: candidate arrivals at the envelope rate.
+		t += rng.ExpFloat64() / rateMax
+		if t >= cfg.Duration {
+			break
+		}
+		if rng.Float64()*rateMax > cfg.Rate(t) {
+			continue
+		}
+		strict := rng.Float64() < cfg.Mix.StrictFrac
+		m := cfg.Mix.Strict
+		if !strict {
+			slot := int(t / rotate)
+			if slot >= len(beSchedule) {
+				slot = len(beSchedule) - 1
+			}
+			m = beSchedule[slot]
+		}
+		out = append(out, Request{ID: id, Model: m, Strict: strict, Arrival: t})
+		id++
+	}
+	return out, nil
+}
+
+// peakRate estimates the maximum of fn over [0, duration] on a fine grid.
+func peakRate(fn RateFn, duration float64) float64 {
+	const samples = 4096
+	maxV := 0.0
+	for i := 0; i <= samples; i++ {
+		v := fn(duration * float64(i) / samples)
+		maxV = math.Max(maxV, v)
+	}
+	// Small headroom so thinning stays valid between grid points.
+	return maxV * 1.05
+}
+
+// MeanRate estimates the average of fn over [0, duration].
+func MeanRate(fn RateFn, duration float64) float64 {
+	const samples = 4096
+	sum := 0.0
+	for i := 0; i < samples; i++ {
+		sum += fn(duration * (float64(i) + 0.5) / samples)
+	}
+	return sum / samples
+}
+
+// ScaleToMean rescales fn so its average over [0, duration] equals
+// target, the way §5 scales the Wiki trace to a 5000 rps mean.
+func ScaleToMean(fn RateFn, target, duration float64) RateFn {
+	mean := MeanRate(fn, duration)
+	if mean <= 0 {
+		return fn
+	}
+	k := target / mean
+	return func(t float64) float64 { return k * fn(t) }
+}
+
+// ScaleToPeak rescales fn so its maximum over [0, duration] equals
+// target, the way §5 scales the Twitter trace to a 5000 rps peak.
+func ScaleToPeak(fn RateFn, target, duration float64) RateFn {
+	peak := peakRate(fn, duration) / 1.05
+	if peak <= 0 {
+		return fn
+	}
+	k := target / peak
+	return func(t float64) float64 { return k * fn(t) }
+}

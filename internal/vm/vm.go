@@ -1,0 +1,441 @@
+// Package vm emulates the IaaS layer of §4.5 and §5 exactly the way the
+// paper does ("we emulate only the spot/on-demand VM worker aspect — the
+// pricing and revocations"): each worker node is backed by a VM lease;
+// spot leases receive revocation notices at fixed check intervals with
+// probability P_rev; the cost-aware procurement module reacts to notices
+// by acquiring a replacement (spot first, on-demand fallback) inside the
+// 30–120 s notice window; and a cost meter integrates Table 3 pricing
+// over lease lifetimes.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"protean/internal/sim"
+)
+
+// Kind distinguishes VM purchase tiers.
+type Kind int
+
+const (
+	// KindOnDemand is a reliable, full-price VM.
+	KindOnDemand Kind = iota + 1
+	// KindSpot is a discounted VM revocable at any time.
+	KindSpot
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindOnDemand:
+		return "on-demand"
+	case KindSpot:
+		return "spot"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Pricing is hourly pricing for an 8×A100 instance (Table 3).
+type Pricing struct {
+	// Provider names the IaaS provider.
+	Provider string
+	// OnDemandHourly is the on-demand $/hour.
+	OnDemandHourly float64
+	// SpotHourly is the spot $/hour.
+	SpotHourly float64
+}
+
+// Table 3 of the paper: on-demand and spot hourly pricing for an 8×A100
+// instance averaged across US-east and US-west.
+var (
+	PricingAWS   = Pricing{Provider: "AWS", OnDemandHourly: 32.7726, SpotHourly: 9.8318}
+	PricingAzure = Pricing{Provider: "Microsoft Azure", OnDemandHourly: 32.7700, SpotHourly: 18.0235}
+	PricingGCP   = Pricing{Provider: "Google Cloud", OnDemandHourly: 30.0846, SpotHourly: 8.8147}
+)
+
+// Providers lists the Table 3 pricing rows.
+func Providers() []Pricing { return []Pricing{PricingAWS, PricingAzure, PricingGCP} }
+
+// Savings is the fractional cost reduction of spot vs on-demand.
+func (p Pricing) Savings() float64 {
+	if p.OnDemandHourly <= 0 {
+		return 0
+	}
+	return 1 - p.SpotHourly/p.OnDemandHourly
+}
+
+// Hourly returns the price for a VM kind.
+func (p Pricing) Hourly(k Kind) float64 {
+	if k == KindSpot {
+		return p.SpotHourly
+	}
+	return p.OnDemandHourly
+}
+
+// Mode selects the procurement policy of §4.5.
+type Mode int
+
+const (
+	// ModeOnDemandOnly uses only reliable VMs (the baselines' setup).
+	ModeOnDemandOnly Mode = iota + 1
+	// ModeSpotPreferred is PROTEAN's policy: spot when available,
+	// on-demand fallback on spot failure.
+	ModeSpotPreferred
+	// ModeSpotOnly aggressively uses only spot VMs (the Spot Only
+	// scheme of Figure 9).
+	ModeSpotOnly
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeOnDemandOnly:
+		return "on-demand-only"
+	case ModeSpotPreferred:
+		return "spot-preferred"
+	case ModeSpotOnly:
+		return "spot-only"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Availability describes the spot market state via the per-check
+// revocation probability P_rev (derived from Narayanan et al., §5).
+type Availability struct {
+	// Name labels the scenario.
+	Name string
+	// PRev is the probability a spot VM receives a revocation notice at
+	// each check interval; 1 − PRev is also the probability a fresh
+	// spot request succeeds.
+	PRev float64
+}
+
+// The three spot-availability scenarios of §5.
+var (
+	AvailabilityHigh     = Availability{Name: "high", PRev: 0}
+	AvailabilityModerate = Availability{Name: "moderate", PRev: 0.354}
+	AvailabilityLow      = Availability{Name: "low", PRev: 0.708}
+)
+
+// Listener receives node lifecycle events from the fleet.
+type Listener interface {
+	// NodeDraining announces a revocation notice: the node must stop
+	// accepting work and will be evicted at deadline.
+	NodeDraining(node int, deadline float64)
+	// NodeDown announces the node went offline before its replacement
+	// was ready.
+	NodeDown(node int)
+	// NodeUp announces the node is (back) online, backed by kind.
+	NodeUp(node int, kind Kind)
+}
+
+// Config configures a Fleet.
+type Config struct {
+	// Nodes is the number of worker node slots.
+	Nodes int
+	// Mode is the procurement policy.
+	Mode Mode
+	// Pricing is the tariff (PricingAWS by default).
+	Pricing Pricing
+	// Availability is the spot-market scenario.
+	Availability Availability
+	// CheckInterval is the revocation check period (default 60 s).
+	CheckInterval float64
+	// NoticeMin and NoticeMax bound the eviction notice lead time
+	// (defaults 30 s and 120 s per §2.3).
+	NoticeMin, NoticeMax float64
+	// ProvisionTime is the lead time to bring up a replacement VM
+	// (default 25 s — inside the minimum notice window, which is what
+	// makes the drain-and-replace trick work).
+	ProvisionTime float64
+	// RetryInterval is how often a failed spot request is retried in
+	// ModeSpotOnly (default 30 s).
+	RetryInterval float64
+	// Listener receives node lifecycle events (optional).
+	Listener Listener
+}
+
+func (c *Config) applyDefaults() {
+	if c.Pricing == (Pricing{}) {
+		c.Pricing = PricingAWS
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = 60
+	}
+	if c.NoticeMin <= 0 {
+		c.NoticeMin = 30
+	}
+	if c.NoticeMax < c.NoticeMin {
+		c.NoticeMax = 120
+	}
+	if c.ProvisionTime <= 0 {
+		c.ProvisionTime = 25
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 30
+	}
+}
+
+// lease is one VM attached to a node slot.
+type lease struct {
+	kind     Kind
+	acquired float64
+}
+
+type nodeState int
+
+const (
+	nodeUp nodeState = iota + 1
+	nodeDraining
+	nodeDown
+)
+
+// Fleet manages the VM leases backing every worker node and meters their
+// cost.
+type Fleet struct {
+	cfg Config
+	sim *sim.Sim
+
+	states    []nodeState
+	leases    []*lease
+	noticeGen []int   // increments per revocation notice; stale evictions no-op
+	accrued   float64 // cost of released leases
+	ticker    *sim.Ticker
+	started   bool
+	stopped   bool
+	notices   int
+	failures  int // spot requests that failed
+}
+
+// NewFleet validates cfg and returns an idle fleet; call Start to
+// acquire the initial leases.
+func NewFleet(s *sim.Sim, cfg Config) (*Fleet, error) {
+	if s == nil {
+		return nil, errors.New("vm: nil sim")
+	}
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("vm: %d nodes, want > 0", cfg.Nodes)
+	}
+	switch cfg.Mode {
+	case ModeOnDemandOnly, ModeSpotPreferred, ModeSpotOnly:
+	default:
+		return nil, fmt.Errorf("vm: unknown mode %d", int(cfg.Mode))
+	}
+	if cfg.Availability.PRev < 0 || cfg.Availability.PRev > 1 {
+		return nil, fmt.Errorf("vm: P_rev %v out of [0, 1]", cfg.Availability.PRev)
+	}
+	cfg.applyDefaults()
+	return &Fleet{
+		cfg:       cfg,
+		sim:       s,
+		states:    make([]nodeState, cfg.Nodes),
+		leases:    make([]*lease, cfg.Nodes),
+		noticeGen: make([]int, cfg.Nodes),
+	}, nil
+}
+
+// Start acquires the initial lease for every node and begins revocation
+// checks.
+func (f *Fleet) Start() error {
+	if f.started {
+		return errors.New("vm: fleet already started")
+	}
+	f.started = true
+	for i := range f.leases {
+		kind := KindOnDemand
+		if f.cfg.Mode != ModeOnDemandOnly && f.spotAvailable() {
+			kind = KindSpot
+		} else if f.cfg.Mode == ModeSpotOnly {
+			// Spot-only keeps waiting for spot capacity.
+			f.states[i] = nodeDown
+			f.scheduleSpotRetry(i)
+			continue
+		}
+		f.attach(i, kind)
+	}
+	if f.cfg.Mode != ModeOnDemandOnly && f.cfg.Availability.PRev > 0 {
+		tk, err := f.sim.Every(f.cfg.CheckInterval, f.checkRevocations)
+		if err != nil {
+			return fmt.Errorf("vm: start revocation checks: %w", err)
+		}
+		f.ticker = tk
+	}
+	return nil
+}
+
+// Stop releases every lease and halts revocation checks, finalizing
+// costs.
+func (f *Fleet) Stop() {
+	if f.stopped {
+		return
+	}
+	f.stopped = true
+	if f.ticker != nil {
+		f.ticker.Stop()
+	}
+	for i := range f.leases {
+		f.release(i)
+	}
+}
+
+func (f *Fleet) attach(node int, kind Kind) {
+	f.release(node)
+	f.leases[node] = &lease{kind: kind, acquired: f.sim.Now()}
+	f.states[node] = nodeUp
+	if f.cfg.Listener != nil {
+		f.cfg.Listener.NodeUp(node, kind)
+	}
+}
+
+func (f *Fleet) release(node int) {
+	l := f.leases[node]
+	if l == nil {
+		return
+	}
+	f.accrued += (f.sim.Now() - l.acquired) / 3600 * f.cfg.Pricing.Hourly(l.kind)
+	f.leases[node] = nil
+}
+
+// spotAvailable samples whether a spot request succeeds right now.
+func (f *Fleet) spotAvailable() bool {
+	return f.sim.Rand().Float64() >= f.cfg.Availability.PRev
+}
+
+// checkRevocations is the fixed-interval revocation process of §5.
+func (f *Fleet) checkRevocations() {
+	if f.stopped {
+		return
+	}
+	for i, l := range f.leases {
+		if l == nil || l.kind != KindSpot || f.states[i] != nodeUp {
+			continue
+		}
+		if f.sim.Rand().Float64() >= f.cfg.Availability.PRev {
+			continue
+		}
+		f.notices++
+		f.noticeGen[i]++
+		gen := f.noticeGen[i]
+		notice := f.cfg.NoticeMin + f.sim.Rand().Float64()*(f.cfg.NoticeMax-f.cfg.NoticeMin)
+		deadline := f.sim.Now() + notice
+		f.states[i] = nodeDraining
+		if f.cfg.Listener != nil {
+			f.cfg.Listener.NodeDraining(i, deadline)
+		}
+		i := i
+		// Procurement reacts immediately to the notice (§4.5): retry
+		// spot, fall back to on-demand unless spot-only.
+		replacementReady := false
+		if f.spotAvailable() {
+			f.sim.MustAfter(f.cfg.ProvisionTime, func() { f.replace(i, KindSpot) })
+			replacementReady = true
+		} else if f.cfg.Mode == ModeSpotPreferred {
+			f.failures++
+			f.sim.MustAfter(f.cfg.ProvisionTime, func() { f.replace(i, KindOnDemand) })
+			replacementReady = true
+		} else {
+			f.failures++
+		}
+		// Eviction fires at the deadline; if no replacement was
+		// arranged, the node goes down and spot-only keeps retrying.
+		needRetry := !replacementReady
+		f.sim.MustAfter(notice, func() { f.evict(i, gen, needRetry) })
+	}
+}
+
+// replace swaps the node's lease for a fresh one of the given kind. The
+// old VM keeps running (and billing) until its eviction deadline; the
+// paper's drain-and-replace means the swap itself causes no downtime.
+func (f *Fleet) replace(node int, kind Kind) {
+	if f.stopped {
+		return
+	}
+	f.attach(node, kind)
+}
+
+func (f *Fleet) evict(node, gen int, needRetry bool) {
+	if f.stopped {
+		return
+	}
+	if f.noticeGen[node] != gen || f.states[node] != nodeDraining {
+		return // stale eviction, or replacement already attached
+	}
+	f.release(node)
+	f.states[node] = nodeDown
+	if f.cfg.Listener != nil {
+		f.cfg.Listener.NodeDown(node)
+	}
+	if needRetry {
+		f.scheduleSpotRetry(node)
+	}
+}
+
+// scheduleSpotRetry keeps requesting spot capacity for a down node
+// (spot-only mode).
+func (f *Fleet) scheduleSpotRetry(node int) {
+	f.sim.MustAfter(f.cfg.RetryInterval, func() {
+		if f.stopped || f.states[node] != nodeDown {
+			return
+		}
+		if f.spotAvailable() {
+			f.attach(node, KindSpot)
+			return
+		}
+		f.failures++
+		f.scheduleSpotRetry(node)
+	})
+}
+
+// NodeUp reports whether the node currently accepts new work.
+func (f *Fleet) NodeUp(node int) bool {
+	return node >= 0 && node < len(f.states) && f.states[node] == nodeUp
+}
+
+// UpCount returns the number of schedulable nodes.
+func (f *Fleet) UpCount() int {
+	n := 0
+	for _, st := range f.states {
+		if st == nodeUp {
+			n++
+		}
+	}
+	return n
+}
+
+// Notices returns the number of revocation notices issued so far.
+func (f *Fleet) Notices() int { return f.notices }
+
+// SpotFailures returns the number of failed spot acquisition attempts.
+func (f *Fleet) SpotFailures() int { return f.failures }
+
+// CostReport summarizes metered spending.
+type CostReport struct {
+	// Dollars is the total accrued cost.
+	Dollars float64 `json:"dollars"`
+	// OnDemandBaseline is what the same node-slots would have cost on
+	// on-demand VMs for the full elapsed time.
+	OnDemandBaseline float64 `json:"onDemandBaseline"`
+	// Normalized is Dollars / OnDemandBaseline.
+	Normalized float64 `json:"normalized"`
+}
+
+// Cost returns spending accrued up to now, measured since the given
+// start time for the baseline.
+func (f *Fleet) Cost(since float64) CostReport {
+	total := f.accrued
+	now := f.sim.Now()
+	for _, l := range f.leases {
+		if l != nil {
+			total += (now - l.acquired) / 3600 * f.cfg.Pricing.Hourly(l.kind)
+		}
+	}
+	baseline := float64(f.cfg.Nodes) * (now - since) / 3600 * f.cfg.Pricing.OnDemandHourly
+	norm := 0.0
+	if baseline > 0 {
+		norm = total / baseline
+	}
+	return CostReport{Dollars: total, OnDemandBaseline: baseline, Normalized: norm}
+}
