@@ -1,0 +1,26 @@
+# PROTEAN build and verification targets. `make ci` is what the GitHub
+# Actions workflow runs; `make lint` enforces the determinism invariants
+# documented in DESIGN.md via cmd/protean-lint.
+
+GO ?= go
+
+.PHONY: all build vet lint test race ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/protean-lint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: build vet lint race

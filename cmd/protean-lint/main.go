@@ -1,0 +1,203 @@
+// Command protean-lint runs PROTEAN's determinism- and SLO-safety
+// static analysis over the repository (see internal/lint).
+//
+//	protean-lint ./...                     # lint the whole module
+//	protean-lint ./internal/...            # lint a subtree
+//	protean-lint -json ./...               # machine-readable findings
+//	protean-lint -disable floateq ./...    # turn rules off
+//	protean-lint -enable walltime ./...    # run only these rules
+//	protean-lint -list                     # describe the rules
+//
+// Suppress a single finding in source with
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// on the offending line or the line directly above it. Exit status: 0
+// clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"protean/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("protean-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	enable := fs.String("enable", "", "comma-separated rules to run (default: all)")
+	disable := fs.String("disable", "", "comma-separated rules to skip")
+	list := fs.Bool("list", false, "list available rules and exit")
+	dir := fs.String("C", ".", "directory to locate the module from")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(analyzers, *enable, *disable)
+	if err != nil {
+		fmt.Fprintln(stderr, "protean-lint:", err)
+		return 2
+	}
+
+	root, err := lint.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "protean-lint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "protean-lint:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(stderr, "protean-lint:", err)
+		return 2
+	}
+	pkgs, err = filterPackages(pkgs, loader.Module(), fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "protean-lint:", err)
+		return 2
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "protean-lint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers applies -enable / -disable. Unknown rule names are an
+// error so a typo cannot silently disable nothing.
+func selectAnalyzers(all []*lint.Analyzer, enable, disable string) ([]*lint.Analyzer, error) {
+	known := map[string]bool{}
+	for _, a := range all {
+		known[a.Name] = true
+	}
+	parse := func(csv string) (map[string]bool, error) {
+		set := map[string]bool{}
+		if csv == "" {
+			return set, nil
+		}
+		for _, name := range strings.Split(csv, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				return nil, fmt.Errorf("unknown rule %q (try -list)", name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	on, err := parse(enable)
+	if err != nil {
+		return nil, err
+	}
+	off, err := parse(disable)
+	if err != nil {
+		return nil, err
+	}
+	var out []*lint.Analyzer
+	for _, a := range all {
+		if len(on) > 0 && !on[a.Name] {
+			continue
+		}
+		if off[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no rules selected")
+	}
+	return out, nil
+}
+
+// filterPackages keeps the packages matching the ./... -style patterns.
+// No patterns (or a bare "./...") means every package.
+func filterPackages(pkgs []*lint.Package, module string, patterns []string) ([]*lint.Package, error) {
+	if len(patterns) == 0 {
+		return pkgs, nil
+	}
+	var out []*lint.Package
+	matched := map[string]bool{}
+	for _, p := range pkgs {
+		for _, pat := range patterns {
+			ok, err := patternMatches(module, pat, p.Path)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				matched[pat] = true
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	for _, pat := range patterns {
+		if !matched[pat] {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}
+
+func patternMatches(module, pattern, ipath string) (bool, error) {
+	p := filepath.ToSlash(pattern)
+	if !strings.HasPrefix(p, "./") && p != "." {
+		return false, fmt.Errorf("pattern %q must be relative (./...)", pattern)
+	}
+	p = strings.TrimPrefix(p, "./")
+	recursive := false
+	if p == "..." {
+		return true, nil
+	}
+	if rest, ok := strings.CutSuffix(p, "/..."); ok {
+		recursive = true
+		p = rest
+	}
+	want := module
+	if p != "" && p != "." {
+		want = module + "/" + strings.Trim(p, "/")
+	}
+	if recursive {
+		return ipath == want || strings.HasPrefix(ipath, want+"/"), nil
+	}
+	return ipath == want, nil
+}

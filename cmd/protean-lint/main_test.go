@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"protean/internal/lint"
+)
+
+// writeModule lays out a small module with one walltime and one
+// globalrand violation under internal/ and a clean cmd/ package.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module example.com/tmp\n\ngo 1.22\n",
+		"internal/clocky/clocky.go": `package clocky
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter() time.Time {
+	_ = rand.Float64()
+	return time.Now()
+}
+`,
+		"cmd/tool/main.go": `package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now())
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func runLint(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestFindsViolations(t *testing.T) {
+	root := writeModule(t)
+	code, out, _ := runLint(t, "-C", root, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	for _, want := range []string{"walltime", "globalrand", "clocky.go"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// cmd/ is allowlisted for walltime: its time.Now must not appear.
+	if strings.Contains(out, "main.go") {
+		t.Errorf("cmd/ package was flagged:\n%s", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	root := writeModule(t)
+	code, out, _ := runLint(t, "-C", root, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var findings []lint.Finding
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Line == 0 || f.Col == 0 || f.File == "" {
+			t.Errorf("finding missing position info: %+v", f)
+		}
+	}
+}
+
+func TestDisableRules(t *testing.T) {
+	root := writeModule(t)
+	code, out, _ := runLint(t, "-C", root, "-disable", "walltime,globalrand", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+}
+
+func TestEnableSubset(t *testing.T) {
+	root := writeModule(t)
+	code, out, _ := runLint(t, "-C", root, "-enable", "globalrand", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if strings.Contains(out, "walltime") {
+		t.Errorf("disabled rule still ran:\n%s", out)
+	}
+}
+
+func TestUnknownRuleRejected(t *testing.T) {
+	root := writeModule(t)
+	code, _, errOut := runLint(t, "-C", root, "-disable", "nosuchrule", "./...")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "unknown rule") {
+		t.Errorf("stderr missing diagnosis: %s", errOut)
+	}
+}
+
+func TestPatternFiltering(t *testing.T) {
+	root := writeModule(t)
+	code, out, _ := runLint(t, "-C", root, "./cmd/...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (cmd/ is clean); output:\n%s", code, out)
+	}
+	code, _, errOut := runLint(t, "-C", root, "./nosuchdir/...")
+	if code != 2 || !strings.Contains(errOut, "matched no packages") {
+		t.Fatalf("bad pattern: exit=%d stderr=%s", code, errOut)
+	}
+}
+
+func TestListRules(t *testing.T) {
+	code, out, _ := runLint(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, a := range lint.Analyzers() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list missing rule %s", a.Name)
+		}
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runLint(t, "-bogus"); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

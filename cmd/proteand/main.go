@@ -69,6 +69,12 @@ func run(args []string) error {
 		if err := srv.Shutdown(ctx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
 		}
+		// Join the serve goroutine before returning so run() never exits
+		// while it is still live, and so a listener error that raced the
+		// shutdown is surfaced instead of silently dropped.
+		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
 		return nil
 	}
 }

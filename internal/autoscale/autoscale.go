@@ -9,6 +9,7 @@ package autoscale
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"protean/internal/sim"
 )
@@ -117,10 +118,15 @@ func (s *Scaler) expire(p *pool) {
 }
 
 // Sweep expires idle containers across all pools (called on monitor
-// ticks).
+// ticks), visiting pools in sorted name order for reproducibility.
 func (s *Scaler) Sweep() {
-	for _, p := range s.pools {
-		s.expire(p)
+	names := make([]string, 0, len(s.pools))
+	for name := range s.pools {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.expire(s.pools[name])
 	}
 }
 

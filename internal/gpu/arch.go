@@ -154,6 +154,7 @@ func (a Arch) Geometries() []Geometry {
 		if out[i].Slots() != out[j].Slots() {
 			return out[i].Slots() > out[j].Slots()
 		}
+		//lint:ignore floateq MemGB values are exact Table 2 constants; the tie-break needs exact comparison
 		if out[i].MemGB() != out[j].MemGB() {
 			return out[i].MemGB() > out[j].MemGB()
 		}

@@ -170,10 +170,15 @@ func (g Geometry) Validate() error {
 	if slots > TotalSlots {
 		return fmt.Errorf("%w: %d slots exceed %d", ErrInvalidGeometry, slots, TotalSlots)
 	}
-	for name, n := range counts {
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		p, _ := ProfileByName(name)
-		if n > p.MaxCount {
-			return fmt.Errorf("%w: %d×%s exceeds max count %d", ErrInvalidGeometry, n, name, p.MaxCount)
+		if counts[name] > p.MaxCount {
+			return fmt.Errorf("%w: %d×%s exceeds max count %d", ErrInvalidGeometry, counts[name], name, p.MaxCount)
 		}
 	}
 	if counts["7g"] > 0 && len(g) > 1 {
@@ -275,6 +280,7 @@ func ValidGeometries() []Geometry {
 		if out[i].Slots() != out[j].Slots() {
 			return out[i].Slots() > out[j].Slots()
 		}
+		//lint:ignore floateq MemGB values are exact Table 2 constants; the tie-break needs exact comparison
 		if out[i].MemGB() != out[j].MemGB() {
 			return out[i].MemGB() > out[j].MemGB()
 		}

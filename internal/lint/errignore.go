@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrignoreAnalyzer flags call statements that silently discard an
+// error result. Explicit discards (`_ = f()`) and deferred cleanups
+// (`defer f.Close()`) are not flagged — both are visible, deliberate
+// choices. Writers that are documented never to fail (fmt printing,
+// strings.Builder, bytes.Buffer) are allowlisted.
+func ErrignoreAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "errignore",
+		Doc:  "flag discarded error returns; handle them or assign to _ deliberately",
+		Run: func(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					es, ok := n.(*ast.ExprStmt)
+					if !ok {
+						return true
+					}
+					call, ok := es.X.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if !returnsError(pkg.Info, call) || allowlistedCall(pkg.Info, call) {
+						return true
+					}
+					report(call.Pos(), "result of %s includes an error that is discarded; handle it or assign to _",
+						types.ExprString(call.Fun))
+					return true
+				})
+			}
+		},
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errorType)
+}
+
+// allowlistedCall exempts calls that return an error by signature but
+// cannot fail in practice.
+func allowlistedCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// fmt.Print*/Fprint* to in-memory or standard streams.
+	if _, ok := pkgFunc(info, sel, "fmt"); ok {
+		return true
+	}
+	// Methods on writers documented never to return an error.
+	if s, ok := info.Selections[sel]; ok {
+		recv := s.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil {
+				switch obj.Pkg().Path() + "." + obj.Name() {
+				case "strings.Builder", "bytes.Buffer":
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

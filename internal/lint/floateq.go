@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloateqAnalyzer flags == and != between floating-point operands in
+// internal/ packages. Accumulated float error makes exact equality a
+// latent nondeterminism and correctness hazard in SLO accounting;
+// compare with mathx.AlmostEqual (internal/mathx) or an explicit
+// tolerance. Comparisons against an exact zero constant are exempt —
+// `if x == 0` guarding a division is well-defined and epsilon-comparing
+// it would be wrong.
+func FloateqAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "floateq",
+		Doc:  "flag ==/!= on floats in internal/ packages; use mathx.AlmostEqual or an explicit tolerance",
+		Run: func(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+			if !pkg.Internal {
+				return
+			}
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					be, ok := n.(*ast.BinaryExpr)
+					if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+						return true
+					}
+					if !isFloat(pkg.Info, be.X) && !isFloat(pkg.Info, be.Y) {
+						return true
+					}
+					if isZeroConst(pkg.Info, be.X) || isZeroConst(pkg.Info, be.Y) {
+						return true
+					}
+					report(be.OpPos, "floating-point %s comparison is exact; use mathx.AlmostEqual (internal/mathx) or an explicit tolerance", be.Op)
+					return true
+				})
+			}
+		},
+	}
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.Kind() != constant.Unknown && constant.Sign(tv.Value) == 0
+}

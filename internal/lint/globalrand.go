@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// globalRandFuncs are the math/rand (and math/rand/v2) package-level
+// functions that draw from the global, unseedable-per-run source.
+// Constructors (rand.New, rand.NewSource, rand.NewPCG) are fine — they
+// are exactly how seeded generators get built.
+var globalRandFuncs = map[string]bool{
+	"Int":         true,
+	"Intn":        true,
+	"Int31":       true,
+	"Int31n":      true,
+	"Int63":       true,
+	"Int63n":      true,
+	"Int64":       true,
+	"Int64N":      true,
+	"IntN":        true,
+	"Uint32":      true,
+	"Uint64":      true,
+	"Uint64N":     true,
+	"UintN":       true,
+	"N":           true,
+	"Float32":     true,
+	"Float64":     true,
+	"ExpFloat64":  true,
+	"NormFloat64": true,
+	"Perm":        true,
+	"Shuffle":     true,
+	"Seed":        true,
+	"Read":        true,
+}
+
+// GlobalrandAnalyzer forbids the package-level math/rand functions
+// everywhere (outside tests). All randomness must flow through an
+// injected seeded *rand.Rand — in the simulator that is sim.Sim.Rand()
+// — or experiment results stop being a function of the seed.
+func GlobalrandAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "globalrand",
+		Doc:  "forbid package-level math/rand functions; inject a seeded *rand.Rand",
+		Run: func(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					for _, path := range []string{"math/rand", "math/rand/v2"} {
+						if name, ok := pkgFunc(pkg.Info, sel, path); ok && globalRandFuncs[name] {
+							report(sel.Pos(), "rand.%s draws from the global math/rand source; inject a seeded *rand.Rand (sim.Sim.Rand) instead", name)
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}

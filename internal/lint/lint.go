@@ -1,0 +1,194 @@
+// Package lint implements PROTEAN's determinism- and SLO-safety static
+// analysis. The simulator's headline numbers (EXPERIMENTS.md) are only
+// credible if every run is bit-for-bit reproducible under a fixed seed;
+// that property is easy to break by accident — a stray time.Now, a
+// package-level rand call, or a map iteration that feeds a scheduling
+// decision. The analyzers in this package lock those invariants in.
+//
+// The framework is stdlib-only (go/ast, go/parser, go/types, go/token):
+// packages are parsed and type-checked from source, analyzers walk the
+// typed syntax trees, and findings carry exact positions. Individual
+// findings can be suppressed in source with
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// placed on the offending line or the line directly above it. The reason
+// is mandatory: a suppression without one is itself reported (rule
+// "directive").
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Rule string `json:"rule"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Msg  string `json:"msg"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Rule, f.Msg)
+}
+
+// Package is one type-checked package ready for analysis. Test files
+// (_test.go) are never loaded: every rule in this package exempts tests.
+type Package struct {
+	// Path is the import path ("protean/internal/sim").
+	Path string
+	// Internal reports whether the package sits under internal/ and is
+	// therefore subject to the simulation-only rules (walltime, floateq).
+	Internal bool
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Info     *types.Info
+	Types    *types.Package
+}
+
+// An Analyzer checks one invariant. Run reports findings through report;
+// the framework attaches the rule name, resolves positions, and applies
+// //lint:ignore suppressions.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(pkg *Package, report func(pos token.Pos, format string, args ...any))
+}
+
+// Analyzers returns the full ordered rule set.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		WalltimeAnalyzer(),
+		GlobalrandAnalyzer(),
+		MaporderAnalyzer(),
+		FloateqAnalyzer(),
+		ErrignoreAnalyzer(),
+	}
+}
+
+// Run executes the given analyzers over the packages and returns the
+// surviving (unsuppressed) findings sorted by position. Malformed
+// suppression directives are reported under the pseudo-rule "directive".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup, bad := collectDirectives(pkg)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			a := a
+			report := func(pos token.Pos, format string, args ...any) {
+				p := pkg.Fset.Position(pos)
+				if sup.suppressed(a.Name, p) {
+					return
+				}
+				out = append(out, Finding{
+					Rule: a.Name,
+					File: p.Filename,
+					Line: p.Line,
+					Col:  p.Column,
+					Msg:  fmt.Sprintf(format, args...),
+				})
+			}
+			a.Run(pkg, report)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// suppressions maps file -> line -> rules ignored on that line.
+type suppressions map[string]map[int][]string
+
+func (s suppressions) suppressed(rule string, p token.Position) bool {
+	lines := s[p.Filename]
+	if lines == nil {
+		return false
+	}
+	// A directive covers its own line and the line below it, so both
+	// trailing ("stmt //lint:ignore ...") and preceding placements work.
+	for _, ln := range []int{p.Line, p.Line - 1} {
+		for _, r := range lines[ln] {
+			if r == rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const directivePrefix = "//lint:ignore"
+
+// collectDirectives scans a package's comments for //lint:ignore
+// directives. Malformed directives (missing rule or reason) come back as
+// findings so they cannot silently suppress nothing.
+func collectDirectives(pkg *Package) (suppressions, []Finding) {
+	sup := suppressions{}
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Rule: "directive",
+						File: p.Filename,
+						Line: p.Line,
+						Col:  p.Column,
+						Msg:  "malformed //lint:ignore directive: want \"//lint:ignore <rule> <reason>\"",
+					})
+					continue
+				}
+				m := sup[p.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					sup[p.Filename] = m
+				}
+				for _, rule := range strings.Split(fields[0], ",") {
+					if rule != "" {
+						m[p.Line] = append(m[p.Line], rule)
+					}
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// pkgFunc reports whether sel is a selector of function name on the
+// package with import path pkgPath (e.g. time.Now), resolved through the
+// type checker so local variables shadowing the package name don't match.
+func pkgFunc(info *types.Info, sel *ast.SelectorExpr, pkgPath string) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

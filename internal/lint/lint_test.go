@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fixtureLoader returns a loader rooted at a standalone fixture
+// directory (no go.mod; fixtures only import the standard library).
+func fixtureLoader(dir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		root:    dir,
+		module:  "fixturemod",
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// wantLines scans fixture sources for `want:<rule>` markers and returns
+// the expected "file:line" set for that rule.
+func wantLines(t *testing.T, dir, rule string) map[string]bool {
+	t.Helper()
+	want := map[string]bool{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.Contains(line, "want:"+rule) {
+				want[fmt.Sprintf("%s:%d", path, i+1)] = true
+			}
+		}
+	}
+	return want
+}
+
+func runFixture(t *testing.T, rule, ipath string, analyzer *Analyzer) []Finding {
+	t.Helper()
+	dir := filepath.Join("testdata", rule)
+	l := fixtureLoader(dir)
+	pkg, err := l.LoadDir(dir, ipath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	return Run([]*Package{pkg}, []*Analyzer{analyzer})
+}
+
+func checkFixture(t *testing.T, rule, ipath string, analyzer *Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", rule)
+	findings := runFixture(t, rule, ipath, analyzer)
+	got := map[string]bool{}
+	for _, f := range findings {
+		if f.Rule != rule {
+			t.Errorf("unexpected rule %q in finding %s", f.Rule, f)
+			continue
+		}
+		got[fmt.Sprintf("%s:%d", f.File, f.Line)] = true
+	}
+	want := wantLines(t, dir, rule)
+	for loc := range want {
+		if !got[loc] {
+			t.Errorf("%s: expected a %s finding, got none", loc, rule)
+		}
+	}
+	for loc := range got {
+		if !want[loc] {
+			t.Errorf("%s: unexpected %s finding", loc, rule)
+		}
+	}
+}
+
+func TestWalltimeFixture(t *testing.T) {
+	checkFixture(t, "walltime", "fixturemod/internal/walltime", WalltimeAnalyzer())
+}
+
+func TestWalltimeSkipsNonInternal(t *testing.T) {
+	// The same fixture loaded as a cmd-style package must be silent:
+	// wall-clock access is only forbidden under internal/.
+	findings := runFixture(t, "walltime", "fixturemod/cmd/walltime", WalltimeAnalyzer())
+	if len(findings) != 0 {
+		t.Fatalf("walltime fired outside internal/: %v", findings)
+	}
+}
+
+func TestGlobalrandFixture(t *testing.T) {
+	checkFixture(t, "globalrand", "fixturemod/globalrand", GlobalrandAnalyzer())
+}
+
+func TestMaporderFixture(t *testing.T) {
+	checkFixture(t, "maporder", "fixturemod/maporder", MaporderAnalyzer())
+}
+
+func TestFloateqFixture(t *testing.T) {
+	checkFixture(t, "floateq", "fixturemod/internal/floateq", FloateqAnalyzer())
+}
+
+func TestErrignoreFixture(t *testing.T) {
+	checkFixture(t, "errignore", "fixturemod/errignore", ErrignoreAnalyzer())
+}
+
+func TestMalformedDirective(t *testing.T) {
+	// A directive with no reason must be reported, never silently
+	// honored: run with zero analyzers and expect exactly the
+	// "directive" finding.
+	findings := runFixture(t, "directive", "fixturemod/directive", &Analyzer{
+		Name: "noop",
+		Run:  func(*Package, func(token.Pos, string, ...any)) {},
+	})
+	if len(findings) != 1 || findings[0].Rule != "directive" {
+		t.Fatalf("want exactly one directive finding, got %v", findings)
+	}
+	if !strings.Contains(findings[0].Msg, "malformed") {
+		t.Fatalf("unexpected message: %s", findings[0].Msg)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Rule: "walltime", File: "a.go", Line: 3, Col: 7, Msg: "boom"}
+	if got, want := f.String(), "a.go:3:7: walltime: boom"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestFindModuleRoot(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("FindModuleRoot returned %s without go.mod: %v", root, err)
+	}
+}
+
+// TestRepoIsLintClean is the self-check the CI gate relies on: the
+// repository's own tree must produce zero findings across every
+// analyzer. Any new nondeterminism lands here first.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source; skipped in -short")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	paths := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		paths[i] = p.Path
+	}
+	if !sort.StringsAreSorted(paths) {
+		t.Errorf("packages not sorted: %v", paths)
+	}
+	findings := Run(pkgs, Analyzers())
+	for _, f := range findings {
+		t.Errorf("repo not lint-clean: %s", f)
+	}
+}

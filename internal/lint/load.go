@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks the packages of one Go module from
+// source. It is also the types.Importer used during checking: imports
+// inside the module resolve recursively through the same loader, and
+// everything else (the standard library) falls back to the stdlib
+// source importer, so no compiled export data is required.
+type Loader struct {
+	Fset *token.FileSet
+
+	root    string // module root directory (contains go.mod)
+	module  string // module path from go.mod
+	std     types.Importer
+	pkgs    map[string]*Package // memoized repo packages by import path
+	loading map[string]bool     // cycle guard
+}
+
+var _ types.Importer = (*Loader)(nil)
+
+// NewLoader returns a loader for the module rooted at root. The module
+// path is read from root/go.mod.
+func NewLoader(root string) (*Loader, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		root:    root,
+		module:  modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// Module returns the module path ("protean").
+func (l *Loader) Module() string { return l.module }
+
+// LoadAll walks the module tree and loads every package containing
+// non-test Go files, returning them sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.root, dir)
+		if err != nil {
+			return nil, err
+		}
+		ipath := l.module
+		if rel != "." {
+			ipath = l.module + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.load(ipath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one module package by import path.
+func (l *Loader) load(ipath string) (*Package, error) {
+	if pkg, ok := l.pkgs[ipath]; ok {
+		return pkg, nil
+	}
+	if l.loading[ipath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", ipath)
+	}
+	l.loading[ipath] = true
+	defer delete(l.loading, ipath)
+
+	dir := l.root
+	if ipath != l.module {
+		dir = filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(ipath, l.module+"/")))
+	}
+	pkg, err := l.LoadDir(dir, ipath)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[ipath] = pkg
+	return pkg, nil
+}
+
+// LoadDir parses and type-checks the non-test Go files of a single
+// directory as the package ipath. It is exported for fixture-based
+// analyzer tests, which check standalone directories under testdata/.
+func (l *Loader) LoadDir(dir, ipath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: l,
+		// go build is the compile gate; the linter keeps analyzing in
+		// the face of type errors so it can run on in-progress trees.
+		Error: func(error) {},
+	}
+	tpkg, err := conf.Check(ipath, l.Fset, files, info)
+	if err != nil && tpkg == nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", ipath, err)
+	}
+	return &Package{
+		Path:     ipath,
+		Internal: isInternalPath(ipath),
+		Fset:     l.Fset,
+		Files:    files,
+		Info:     info,
+		Types:    tpkg,
+	}, nil
+}
+
+func isInternalPath(ipath string) bool {
+	return strings.Contains(ipath, "/internal/") || strings.HasSuffix(ipath, "/internal")
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

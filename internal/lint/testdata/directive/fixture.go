@@ -1,0 +1,10 @@
+// Package fixture holds a malformed suppression: the directive names a
+// rule but gives no reason, so the framework must report it under the
+// pseudo-rule "directive" (see TestMalformedDirective for the expected
+// line).
+package fixture
+
+func f() int {
+	//lint:ignore walltime
+	return 1
+}

@@ -1,0 +1,40 @@
+// Package fixture exercises the errignore analyzer: call statements
+// that silently drop an error result.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fallible() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func clean() int { return 1 }
+
+func bad() {
+	fallible() // want:errignore
+	pair()     // want:errignore
+}
+
+func good() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	_ = fallible()   // ok: explicit, visible discard
+	n, _ := pair()   // ok: explicit discard of the error position
+	_ = n
+	clean()          // ok: no error in the signature
+	defer fallible() // ok: deferred cleanups are exempt
+	var sb strings.Builder
+	sb.WriteString("x")     // ok: strings.Builder never fails
+	fmt.Println(sb.String()) // ok: fmt printing is allowlisted
+	return nil
+}
+
+func ignored() {
+	//lint:ignore errignore fixture demonstrates the suppression path
+	fallible()
+}

@@ -1,0 +1,39 @@
+// Package fixture exercises the floateq analyzer: exact float equality
+// in internal/ packages.
+package fixture
+
+func bad(a, b float64) bool {
+	return a == b // want:floateq
+}
+
+func bad32(a, b float32) bool {
+	return a != b // want:floateq
+}
+
+func badMixedConst(a float64) bool {
+	return a == 0.25 // want:floateq
+}
+
+func goodZeroGuard(x float64) float64 {
+	if x == 0 { // ok: exact zero guard before division
+		return 0
+	}
+	return 1 / x
+}
+
+func goodZeroFloatLit(x float64) bool {
+	return x != 0.0 // ok: still an exact zero
+}
+
+func goodInts(a, b int) bool {
+	return a == b // ok: integer equality is exact
+}
+
+func goodOrdering(a, b float64) bool {
+	return a < b // ok: ordering comparisons are fine
+}
+
+func ignored(a, b float64) bool {
+	//lint:ignore floateq exact tie-break comparison is intentional here
+	return a == b
+}

@@ -1,0 +1,38 @@
+// Package fixture exercises the walltime analyzer: wall-clock reads are
+// forbidden in internal/ packages. Marked lines must be flagged;
+// everything else must stay silent.
+package fixture
+
+import "time"
+
+var epoch = time.Unix(0, 0) // ok: constructing a time, not reading the clock
+
+func bad() time.Duration {
+	t := time.Now() // want:walltime
+	time.Sleep(time.Millisecond)  // want:walltime
+	ch := time.After(time.Second) // want:walltime
+	<-ch
+	return time.Since(t) // want:walltime
+}
+
+func ignoredAbove() time.Time {
+	//lint:ignore walltime fixture demonstrates the suppression path
+	return time.Now()
+}
+
+func ignoredTrailing() time.Time {
+	return time.Now() //lint:ignore walltime trailing placement also works
+}
+
+type fakeClock struct{}
+
+func (fakeClock) Now() int { return 0 }
+
+func shadowed() int {
+	time := fakeClock{}
+	return time.Now() // ok: resolves to the local fakeClock, not package time
+}
+
+func durationsAreFine(d time.Duration) time.Duration {
+	return 2*d + time.Second // ok: Duration arithmetic never touches the clock
+}

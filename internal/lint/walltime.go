@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// wallClockFuncs are the time-package functions that read or depend on
+// the wall clock. Declaring time.Duration values and doing Duration
+// arithmetic is fine — only these entry points are forbidden.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// WalltimeAnalyzer forbids wall-clock access inside internal/ packages.
+// Everything under internal/ runs in virtual time on internal/sim; a
+// single time.Now in a scheduling path silently unpins every
+// EXPERIMENTS.md figure from its seed. cmd/ binaries and tests are
+// exempt (tests are never loaded, cmd/ packages are not Internal).
+func WalltimeAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "walltime",
+		Doc:  "forbid time.Now/Since/Sleep/... in internal/ packages; use the simulated clock (internal/sim)",
+		Run: func(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+			if !pkg.Internal {
+				return
+			}
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					if name, ok := pkgFunc(pkg.Info, sel, "time"); ok && wallClockFuncs[name] {
+						report(sel.Pos(), "time.%s reads the wall clock; internal/ packages run in virtual time — use the sim.Sim clock instead", name)
+					}
+					return true
+				})
+			}
+		},
+	}
+}

@@ -1,0 +1,41 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b float64
+		want bool
+	}{
+		{"identical", 1.5, 1.5, true},
+		{"zero", 0, 0, true},
+		{"accumulated drift", 0.1 + 0.2, 0.3, true},
+		{"large equal scale", 1e12, 1e12 * (1 + 1e-12), true},
+		{"clearly different", 1.0, 1.001, false},
+		{"near zero absolute", 1e-12, 0, true},
+		{"sign flip", 1e-3, -1e-3, false},
+		{"inf same", math.Inf(1), math.Inf(1), true},
+		{"inf opposite", math.Inf(1), math.Inf(-1), false},
+		{"inf vs finite", math.Inf(1), 1e300, false},
+		{"nan", math.NaN(), math.NaN(), false},
+		{"nan vs value", math.NaN(), 0, false},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b); got != c.want {
+			t.Errorf("%s: AlmostEqual(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAlmostEqualTolWidens(t *testing.T) {
+	if AlmostEqualTol(1.0, 1.001, 1e-9) {
+		t.Fatal("tight tolerance should reject 0.1% error")
+	}
+	if !AlmostEqualTol(1.0, 1.001, 1e-2) {
+		t.Fatal("loose tolerance should accept 0.1% error")
+	}
+}

@@ -46,6 +46,7 @@ func WelchT(a, b []float64) (WelchResult, error) {
 	se := math.Sqrt(sa + sb)
 	if se == 0 {
 		// Identical constant samples: no evidence of difference.
+		//lint:ignore floateq zero variance means both samples are exact constants; equality here is exact by construction
 		if ma == mb {
 			return WelchResult{T: 0, DF: na + nb - 2, P: 1}, nil
 		}
@@ -78,6 +79,7 @@ func CohenD(a, b []float64) (float64, error) {
 	na, nb := float64(len(a)), float64(len(b))
 	pooled := ((na-1)*va + (nb-1)*vb) / (na + nb - 2)
 	if pooled == 0 {
+		//lint:ignore floateq zero pooled variance means both samples are exact constants; equality here is exact by construction
 		if ma == mb {
 			return 0, nil
 		}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"protean/internal/gpu"
 	"protean/internal/mathx"
@@ -259,6 +260,7 @@ func solveFBR(models []*Model, obs []observation) (map[string]float64, error) {
 			i, ok := index[name]
 			if !ok {
 				usable = false
+				//lint:ignore maporder the row is discarded whenever any name is unknown, so the exit point does not affect the outcome
 				break
 			}
 			poll, _ := byName[name].Cache()
@@ -346,12 +348,24 @@ func (p *Profiler) runMix(mix map[*Model]int) ([]profJob, error) {
 	}
 	sl := g.Slices()[0]
 
+	// Materialize the mix in sorted model order: job start order feeds
+	// the engine's tie-breaking, so map iteration order must not leak in.
+	type mixEntry struct {
+		m *Model
+		n int
+	}
+	entries := make([]mixEntry, 0, len(mix))
+	for m, n := range mix {
+		entries = append(entries, mixEntry{m: m, n: n})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].m.name < entries[j].m.name })
+
 	var jobs []profJob
 	memTotal := 0.0
-	for m, n := range mix {
-		memTotal += float64(n) * m.MemGB(gpu.Profile7g)
-		for i := 0; i < n; i++ {
-			jobs = append(jobs, profJob{model: m, job: &gpu.Job{W: m}})
+	for _, e := range entries {
+		memTotal += float64(e.n) * e.m.MemGB(gpu.Profile7g)
+		for i := 0; i < e.n; i++ {
+			jobs = append(jobs, profJob{model: e.m, job: &gpu.Job{W: e.m}})
 		}
 	}
 	if memTotal > gpu.Profile7g.MemGB {

@@ -7,6 +7,7 @@ package queue
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"protean/internal/model"
 	"protean/internal/sim"
@@ -123,9 +124,21 @@ func (b *Batcher) Pending() int {
 	return n
 }
 
-// Flush seals every partial batch immediately (end of trace).
+// Flush seals every partial batch immediately (end of trace). Batches
+// are sealed in sorted key order so the emitted sequence — and every
+// queueing decision downstream of it — is reproducible.
 func (b *Batcher) Flush() {
+	keys := make([]batchKey, 0, len(b.pending))
 	for key := range b.pending {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].model != keys[j].model {
+			return keys[i].model < keys[j].model
+		}
+		return keys[i].strict && !keys[j].strict
+	})
+	for _, key := range keys {
 		b.seal(key)
 	}
 }

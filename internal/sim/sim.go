@@ -204,6 +204,7 @@ var _ heap.Interface = (*timerHeap)(nil)
 func (h timerHeap) Len() int { return len(h) }
 
 func (h timerHeap) Less(i, j int) bool {
+	//lint:ignore floateq exact tie-break: an epsilon would merge distinct event times and reorder the queue
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
