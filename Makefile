@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race ci
+.PHONY: all build vet lint test race bench-quick ci
 
 all: build
 
@@ -23,4 +23,9 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: build vet lint race
+# Smoke-run a pair of cheap experiments through the parallel scenario
+# runner; CI uses this to catch runner regressions end to end.
+bench-quick:
+	$(GO) run ./cmd/protean-bench -run fig2,stats -quick -parallel 4
+
+ci: build vet lint race bench-quick

@@ -59,6 +59,32 @@ func BenchmarkColdStartsClaim(b *testing.B)            { benchExperiment(b, "col
 func BenchmarkKneeSweep(b *testing.B)                  { benchExperiment(b, "knee") }
 func BenchmarkHopperGeneralizability(b *testing.B)     { benchExperiment(b, "hopper") }
 
+// Scenario-runner scaling pair: the same experiment with the worker
+// pool forced sequential vs one worker per CPU. Compare with
+// `go test -bench 'Fig5Workers' -benchtime 3x .` to see the speedup;
+// both produce byte-identical reports (see internal/sim determinism
+// tests), so the gap is pure wall clock.
+
+func benchWorkers(b *testing.B, parallel int) {
+	b.Helper()
+	params := benchParams()
+	params.Parallel = parallel
+	params.Quick = false // full model×scheme grid, enough fan-out to matter
+	e, ok := experiments.ByID("fig5")
+	if !ok {
+		b.Fatal("fig5 not registered")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5WorkersSequential(b *testing.B) { benchWorkers(b, 1) }
+func BenchmarkFig5WorkersParallel(b *testing.B)   { benchWorkers(b, 0) }
+
 // Ablation benches for the design choices DESIGN.md calls out. Each
 // reports the compliance gap the feature buys as a custom metric.
 

@@ -6,6 +6,8 @@
 //	protean-bench -list
 //	protean-bench -run fig5
 //	protean-bench -run all -duration 60 -nodes 8
+//	protean-bench -run all -parallel 4
+//	protean-bench -run fig5 -seeds 5
 //	protean-bench -run fig9 -json
 package main
 
@@ -13,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -21,14 +24,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "protean-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("protean-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
 		list     = fs.Bool("list", false, "list available experiments")
 		runIDs   = fs.String("run", "", "comma-separated experiment IDs, or 'all'")
@@ -36,6 +40,8 @@ func run(args []string) error {
 		duration = fs.Float64("duration", 60, "trace duration in seconds")
 		warmup   = fs.Float64("warmup", 15, "metrics warmup in seconds")
 		seed     = fs.Int64("seed", 1, "random seed")
+		seeds    = fs.Int("seeds", 1, "replications under derived sub-seeds; >1 reports mean ± 95% CI")
+		parallel = fs.Int("parallel", 0, "scenario worker goroutines (0 = all CPUs, 1 = sequential)")
 		quick    = fs.Bool("quick", false, "smaller model sweeps and durations")
 		asJSON   = fs.Bool("json", false, "emit JSON instead of text tables")
 		format   = fs.String("format", "text", "table format: text, markdown, csv")
@@ -45,12 +51,12 @@ func run(args []string) error {
 	}
 
 	if *list || *runIDs == "" {
-		fmt.Println("available experiments:")
+		fmt.Fprintln(stdout, "available experiments:")
 		for _, e := range experiments.Registry() {
-			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "  %-8s %s\n", e.ID, e.Title)
 		}
 		if *runIDs == "" && !*list {
-			fmt.Println("\nrun with -run <id>[,<id>...] or -run all")
+			fmt.Fprintln(stdout, "\nrun with -run <id>[,<id>...] or -run all")
 		}
 		return nil
 	}
@@ -73,26 +79,30 @@ func run(args []string) error {
 		Duration: *duration,
 		Warmup:   *warmup,
 		Seed:     *seed,
+		Parallel: *parallel,
 		Quick:    *quick,
 	}
 	for _, e := range selected {
 		started := time.Now()
-		report, err := e.Run(params)
+		report, err := experiments.RunReplicated(e, params, *seeds)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
+		// Wall-clock goes to stderr: stdout must stay byte-identical
+		// across -parallel settings, and timings never are.
+		fmt.Fprintf(stderr, "[%s completed in %s]\n", e.ID, time.Since(started).Round(time.Millisecond))
 		if *asJSON {
-			enc := json.NewEncoder(os.Stdout)
+			enc := json.NewEncoder(stdout)
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(report); err != nil {
 				return err
 			}
 			continue
 		}
-		if err := report.RenderAs(os.Stdout, experiments.Format(*format)); err != nil {
+		if err := report.RenderAs(stdout, experiments.Format(*format)); err != nil {
 			return err
 		}
-		fmt.Printf("[%s completed in %s]\n\n", e.ID, time.Since(started).Round(time.Millisecond))
+		fmt.Fprintln(stdout)
 	}
 	return nil
 }

@@ -1,33 +1,82 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
 		t.Fatalf("run -list: %v", err)
+	}
+	if !strings.Contains(out.String(), "available experiments:") {
+		t.Errorf("missing header in: %q", out.String())
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-run", "fig999"}); err == nil {
+	if err := run([]string{"-run", "fig999"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunQuickExperiment(t *testing.T) {
-	if err := run([]string{"-run", "table3", "-quick"}); err != nil {
+	var out, errs bytes.Buffer
+	if err := run([]string{"-run", "table3", "-quick"}, &out, &errs); err != nil {
 		t.Fatalf("run table3: %v", err)
+	}
+	if !strings.Contains(errs.String(), "[table3 completed in ") {
+		t.Errorf("timing line missing from stderr: %q", errs.String())
+	}
+	if strings.Contains(out.String(), "completed in") {
+		t.Error("timing line leaked onto stdout")
 	}
 }
 
 func TestRunQuickExperimentJSON(t *testing.T) {
-	if err := run([]string{"-run", "table3", "-quick", "-json"}); err != nil {
+	if err := run([]string{"-run", "table3", "-quick", "-json"}, io.Discard, io.Discard); err != nil {
 		t.Fatalf("run table3 -json: %v", err)
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-bogus"}); err == nil {
-		t.Fatal("bad flag accepted")
+	if err := run([]string{"-bogus"}, io.Discard, io.Discard); err != nil {
+		// flag.ContinueOnError surfaces the parse error; that is the point.
+		return
+	}
+	t.Fatal("bad flag accepted")
+}
+
+// TestParallelStdoutByteIdentical is the tool-level determinism contract:
+// the same invocation must print byte-identical tables whether scenarios
+// run sequentially or across a worker pool.
+func TestParallelStdoutByteIdentical(t *testing.T) {
+	outputs := make([]string, 2)
+	for i, par := range []string{"1", "4"} {
+		var out bytes.Buffer
+		args := []string{"-run", "table4,fig8", "-quick", "-seed", "7", "-parallel", par}
+		if err := run(args, &out, io.Discard); err != nil {
+			t.Fatalf("run -parallel %s: %v", par, err)
+		}
+		outputs[i] = out.String()
+	}
+	if outputs[0] != outputs[1] {
+		t.Errorf("stdout differs between -parallel 1 and -parallel 4:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			outputs[0], outputs[1])
+	}
+}
+
+// TestSeedsAggregates exercises -seeds: replicated runs must produce
+// mean ± CI cells and still render without error.
+func TestSeedsAggregates(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "table4", "-quick", "-seeds", "3"}, &out, io.Discard); err != nil {
+		t.Fatalf("run -seeds 3: %v", err)
+	}
+	if !strings.Contains(out.String(), "±") {
+		t.Errorf("expected mean ± CI cells in aggregated output:\n%s", out.String())
 	}
 }

@@ -21,6 +21,7 @@ import (
 
 	"protean/internal/cluster"
 	"protean/internal/core"
+	"protean/internal/gpu"
 	"protean/internal/model"
 	"protean/internal/sim"
 	"protean/internal/trace"
@@ -62,6 +63,11 @@ type Params struct {
 	Seed int64
 	// Quick shrinks durations and model sets for benchmarks.
 	Quick bool
+	// Parallel is the worker count RunScenarios fans scenarios out
+	// across: 0 uses GOMAXPROCS, 1 runs sequentially, N uses N workers.
+	// Results are merged by scenario index, so reports are byte-identical
+	// at every setting.
+	Parallel int
 }
 
 func (p Params) withDefaults() Params {
@@ -128,6 +134,9 @@ func PrimarySchemes() []NamedFactory {
 
 // Scenario describes one cluster run.
 type Scenario struct {
+	// Label names the scenario in batch error messages
+	// (e.g. "VGG 19/PROTEAN").
+	Label string
 	// Strict is the strict-request model.
 	Strict *model.Model
 	// BEPool is the rotating best-effort pool (nil derives the
@@ -141,10 +150,13 @@ type Scenario struct {
 	SLOMultiplier float64
 	// Policy is the scheme under test.
 	Policy core.Factory
-	// VM optionally attaches the spot/on-demand fleet.
+	// VM optionally attaches the spot/on-demand fleet. The config is
+	// copied before the run, so one template may be shared.
 	VM *vm.Config
 	// RotatePeriod overrides the ~20 s BE model rotation.
 	RotatePeriod float64
+	// Arch selects the GPU generation (nil: A100-40GB).
+	Arch *gpu.Arch
 }
 
 // runScenario generates the trace and executes one cluster run.
@@ -187,6 +199,13 @@ func runScenario(p Params, sc Scenario) (*cluster.Result, error) {
 	if sc.Strict != nil {
 		prewarm = append(prewarm, sc.Strict)
 	}
+	vmCfg := sc.VM
+	if vmCfg != nil {
+		// The cluster manages Nodes/Listener on the config it is handed;
+		// copy so concurrent scenarios never share one struct.
+		clone := *vmCfg
+		vmCfg = &clone
+	}
 	s := sim.New(p.Seed)
 	c, err := cluster.New(s, cluster.Config{
 		Nodes:         p.Nodes,
@@ -195,7 +214,8 @@ func runScenario(p Params, sc Scenario) (*cluster.Result, error) {
 		Warmup:        p.Warmup,
 		PreWarm:       prewarm,
 		PreWarmCount:  4,
-		VM:            sc.VM,
+		VM:            vmCfg,
+		Arch:          sc.Arch,
 	})
 	if err != nil {
 		return nil, err

@@ -92,18 +92,25 @@ func KneeSweep(p Params) (*Report, error) {
 	for _, s := range schemes {
 		t.Headers = append(t.Headers, s.Name)
 	}
+	var scs []Scenario
 	for _, rate := range rates {
-		row := []string{fmt.Sprintf("%.0f", rate)}
 		for _, sch := range schemes {
-			res, err := runScenario(p, Scenario{
+			scs = append(scs, Scenario{
+				Label:  fmt.Sprintf("knee %s@%.0f", sch.Name, rate),
 				Strict: strict,
 				Rate:   trace.Constant(rate),
 				Policy: sch.Factory,
 			})
-			if err != nil {
-				return nil, fmt.Errorf("knee %s@%.0f: %w", sch.Name, rate, err)
-			}
-			row = append(row, pct(res.Recorder.SLOCompliance()))
+		}
+	}
+	results, err := RunScenarios(p, scs)
+	if err != nil {
+		return nil, err
+	}
+	for ri, rate := range rates {
+		row := []string{fmt.Sprintf("%.0f", rate)}
+		for j := range schemes {
+			row = append(row, pct(results[ri*len(schemes)+j].Recorder.SLOCompliance()))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -136,34 +143,25 @@ func Hopper(p Params) (*Report, error) {
 		Title:   "Section 7 generalizability: PROTEAN on Ampere vs Hopper",
 		Headers: []string{"strict model", "architecture", "SLO compliance", "strict P99", "reconfigs"},
 	}
+	var scs []Scenario
 	for _, m := range models {
-		pool := model.OppositeClassPool(m)
-		reqs, err := trace.Generate(trace.Config{
-			Rate:     wikiRate(p.Duration),
-			Mix:      trace.Mix{StrictFrac: 0.5, Strict: m, BEPool: pool},
-			Duration: p.Duration,
-			Seed:     p.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
 		for _, a := range archs {
-			s := sim.New(p.Seed)
-			c, err := cluster.New(s, cluster.Config{
-				Nodes:        p.Nodes,
-				Policy:       core.NewProtean(core.ProteanConfig{}),
-				Warmup:       p.Warmup,
-				PreWarm:      append(pool, m),
-				PreWarmCount: 4,
-				Arch:         a.arch,
+			scs = append(scs, Scenario{
+				Label:  fmt.Sprintf("hopper %s/%s", m.Name(), a.name),
+				Strict: m,
+				Rate:   wikiRate(p.Duration),
+				Policy: core.NewProtean(core.ProteanConfig{}),
+				Arch:   a.arch,
 			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := c.Run(reqs, p.Duration)
-			if err != nil {
-				return nil, fmt.Errorf("hopper %s/%s: %w", m.Name(), a.name, err)
-			}
+		}
+	}
+	results, err := RunScenarios(p, scs)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range models {
+		for ai, a := range archs {
+			res := results[i*len(archs)+ai]
 			t.Rows = append(t.Rows, []string{
 				m.Name(), a.name,
 				pct(res.Recorder.SLOCompliance()),

@@ -16,18 +16,17 @@ func Fig12VHIModels(p Params) (*Report, error) {
 	for _, s := range schemes {
 		t.Headers = append(t.Headers, s.Name)
 	}
-	for _, m := range p.languageModels() {
+	models := p.languageModels()
+	results, err := RunScenarios(p, gridScenarios(models, schemes, func(sc *Scenario, _ *model.Model) {
+		sc.Rate = trace.Constant(LanguageMeanRPS)
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("fig12: %w", err)
+	}
+	for i, m := range models {
 		row := []string{m.Name()}
-		for _, sch := range schemes {
-			res, err := runScenario(p, Scenario{
-				Strict: m,
-				Rate:   trace.Constant(LanguageMeanRPS),
-				Policy: sch.Factory,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig12 %s/%s: %w", m.Name(), sch.Name, err)
-			}
-			row = append(row, pct(res.Recorder.SLOCompliance()))
+		for j := range schemes {
+			row = append(row, pct(results[i*len(schemes)+j].Recorder.SLOCompliance()))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -45,19 +44,18 @@ func Fig13GenerativeLLMs(p Params) (*Report, error) {
 	for _, s := range schemes {
 		t.Headers = append(t.Headers, s.Name)
 	}
-	for _, m := range model.Generative() {
+	models := model.Generative()
+	results, err := RunScenarios(p, gridScenarios(models, schemes, func(sc *Scenario, _ *model.Model) {
+		sc.BEPool = model.Language()
+		sc.Rate = trace.Constant(GenerativeMeanRPS)
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("fig13: %w", err)
+	}
+	for i, m := range models {
 		row := []string{m.Name()}
-		for _, sch := range schemes {
-			res, err := runScenario(p, Scenario{
-				Strict: m,
-				BEPool: model.Language(),
-				Rate:   trace.Constant(GenerativeMeanRPS),
-				Policy: sch.Factory,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig13 %s/%s: %w", m.Name(), sch.Name, err)
-			}
-			row = append(row, pct(res.Recorder.SLOCompliance()))
+		for j := range schemes {
+			row = append(row, pct(results[i*len(schemes)+j].Recorder.SLOCompliance()))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -73,14 +71,29 @@ func Fig14SkewedStrictness(p Params) (*Report, error) {
 	p = p.withDefaults()
 	schemes := PrimarySchemes()
 	models := []*model.Model{model.MustByName("ShuffleNet V2"), model.MustByName("DPN 92")}
-	var tables []*Table
-	for _, skew := range []struct {
+	skews := []struct {
 		name string
 		frac float64
 	}{
 		{"strict skewed (75% strict)", 0.75},
 		{"BE skewed (25% strict)", 0.25},
-	} {
+	}
+	// Single batch across skew×model×scheme.
+	var scs []Scenario
+	for _, skew := range skews {
+		frac := skew.frac
+		scs = append(scs, gridScenarios(models, schemes, func(sc *Scenario, _ *model.Model) {
+			sc.StrictFrac = frac
+			sc.Rate = wikiRate(p.Duration)
+		})...)
+	}
+	results, err := RunScenarios(p, scs)
+	if err != nil {
+		return nil, fmt.Errorf("fig14: %w", err)
+	}
+	var tables []*Table
+	block := len(models) * len(schemes)
+	for si, skew := range skews {
 		t := &Table{
 			Title:   "Figure 14: " + skew.name,
 			Headers: []string{"strict model"},
@@ -88,19 +101,10 @@ func Fig14SkewedStrictness(p Params) (*Report, error) {
 		for _, s := range schemes {
 			t.Headers = append(t.Headers, s.Name)
 		}
-		for _, m := range models {
+		for i, m := range models {
 			row := []string{m.Name()}
-			for _, sch := range schemes {
-				res, err := runScenario(p, Scenario{
-					Strict:     m,
-					StrictFrac: skew.frac,
-					Rate:       wikiRate(p.Duration),
-					Policy:     sch.Factory,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("fig14 %s/%s: %w", m.Name(), sch.Name, err)
-				}
-				row = append(row, pct(res.Recorder.SLOCompliance()))
+			for j := range schemes {
+				row = append(row, pct(results[si*block+i*len(schemes)+j].Recorder.SLOCompliance()))
 			}
 			t.Rows = append(t.Rows, row)
 		}

@@ -7,6 +7,25 @@ import (
 	"protean/internal/model"
 )
 
+// gridScenarios builds the row-major model×scheme scenario grid shared
+// by the compliance figures; build customizes each scenario beyond its
+// strict model and policy.
+func gridScenarios(models []*model.Model, schemes []NamedFactory, build func(sc *Scenario, m *model.Model)) []Scenario {
+	scs := make([]Scenario, 0, len(models)*len(schemes))
+	for _, m := range models {
+		for _, sch := range schemes {
+			sc := Scenario{
+				Label:  fmt.Sprintf("%s/%s", m.Name(), sch.Name),
+				Strict: m,
+				Policy: sch.Factory,
+			}
+			build(&sc, m)
+			scs = append(scs, sc)
+		}
+	}
+	return scs
+}
+
 // Fig5SLOCompliance reproduces Figure 5: SLO compliance of every scheme
 // for each vision model under the Wiki trace.
 func Fig5SLOCompliance(p Params) (*Report, error) {
@@ -19,18 +38,17 @@ func Fig5SLOCompliance(p Params) (*Report, error) {
 	for _, s := range schemes {
 		t.Headers = append(t.Headers, s.Name)
 	}
-	for _, m := range p.visionModels() {
+	models := p.visionModels()
+	results, err := RunScenarios(p, gridScenarios(models, schemes, func(sc *Scenario, _ *model.Model) {
+		sc.Rate = wikiRate(p.Duration)
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("fig5: %w", err)
+	}
+	for i, m := range models {
 		row := []string{m.Name()}
-		for _, sch := range schemes {
-			res, err := runScenario(p, Scenario{
-				Strict: m,
-				Rate:   wikiRate(p.Duration),
-				Policy: sch.Factory,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig5 %s/%s: %w", m.Name(), sch.Name, err)
-			}
-			row = append(row, pct(res.Recorder.SLOCompliance()))
+		for j := range schemes {
+			row = append(row, pct(results[i*len(schemes)+j].Recorder.SLOCompliance()))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -56,22 +74,22 @@ func fig6Models(p Params) []*model.Model {
 // and queueing for a subset of vision models.
 func Fig6TailBreakdown(p Params) (*Report, error) {
 	p = p.withDefaults()
+	models := fig6Models(p)
+	schemes := PrimarySchemes()
+	results, err := RunScenarios(p, gridScenarios(models, schemes, func(sc *Scenario, _ *model.Model) {
+		sc.Rate = wikiRate(p.Duration)
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("fig6: %w", err)
+	}
 	var tables []*Table
-	for _, m := range fig6Models(p) {
+	for i, m := range models {
 		t := &Table{
 			Title:   fmt.Sprintf("Figure 6: strict P99 latency breakdown — %s", m.Name()),
 			Headers: []string{"scheme", "P99", "min", "deficiency", "interference", "queue+cold", "SLO"},
 		}
-		for _, sch := range PrimarySchemes() {
-			res, err := runScenario(p, Scenario{
-				Strict: m,
-				Rate:   wikiRate(p.Duration),
-				Policy: sch.Factory,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig6 %s/%s: %w", m.Name(), sch.Name, err)
-			}
-			sum := res.Recorder.Summarize()
+		for j, sch := range schemes {
+			sum := results[i*len(schemes)+j].Recorder.Summarize()
 			b := sum.P99Breakdown
 			t.Rows = append(t.Rows, []string{
 				sch.Name, ms(sum.P99), ms(b.MinPossible), ms(b.Deficiency),
@@ -131,30 +149,25 @@ func Fig8LatencyCDF(p Params) (*Report, error) {
 		Title:   "Figure 8: end-to-end latency CDF (SENet 18, strict requests)",
 		Headers: []string{"percentile"},
 	}
-	cols := make(map[string][]string)
-	var order []string
-	for _, sch := range PrimarySchemes() {
-		res, err := runScenario(p, Scenario{
-			Strict: m,
-			Rate:   wikiRate(p.Duration),
-			Policy: sch.Factory,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("fig8 %s: %w", sch.Name, err)
-		}
-		strict := res.Recorder.Strict()
-		var vals []string
+	schemes := PrimarySchemes()
+	results, err := RunScenarios(p, gridScenarios([]*model.Model{m}, schemes, func(sc *Scenario, _ *model.Model) {
+		sc.Rate = wikiRate(p.Duration)
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+	cols := make([][]string, len(schemes))
+	for j, sch := range schemes {
+		strict := results[j].Recorder.Strict()
 		for _, q := range quantiles {
-			vals = append(vals, ms(strict.Percentile(q)))
+			cols[j] = append(cols[j], ms(strict.Percentile(q)))
 		}
-		cols[sch.Name] = vals
-		order = append(order, sch.Name)
 		t.Headers = append(t.Headers, sch.Name)
 	}
 	for qi, q := range quantiles {
 		row := []string{fmt.Sprintf("P%.0f", q)}
-		for _, name := range order {
-			row = append(row, cols[name][qi])
+		for j := range schemes {
+			row = append(row, cols[j][qi])
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -29,46 +29,36 @@ func Fig9CostVsSLO(p Params) (*Report, error) {
 		// Spot revocations play out over minutes; give them room.
 		p.Duration = 120
 	}
+	baselines := []NamedFactory{
+		{Name: "Molecule (beta)", Factory: core.NewMoleculeBeta()},
+		{Name: "Naive Slicing", Factory: core.NewNaiveSlicing(nil)},
+		{Name: "INFless/Llama", Factory: core.NewINFlessLlama()},
+	}
+	variants := []struct {
+		name string
+		mode vm.Mode
+	}{
+		{"Spot Only", vm.ModeSpotOnly},
+		{"PROTEAN", vm.ModeSpotPreferred},
+	}
+	// One batch per model: the availability-independent on-demand
+	// baselines first, then availability×variant spot runs.
 	var tables []*Table
 	for _, m := range models {
-		t := &Table{
-			Title:   fmt.Sprintf("Figure 9: normalized cost vs SLO compliance — %s", m.Name()),
-			Headers: []string{"availability", "scheme", "normalized cost", "SLO compliance"},
-		}
-		// On-demand baselines: availability-independent (run once,
-		// averaged across the baseline schemes as the paper plots).
-		baselineSLO := 0.0
-		baselines := []NamedFactory{
-			{Name: "Molecule (beta)", Factory: core.NewMoleculeBeta()},
-			{Name: "Naive Slicing", Factory: core.NewNaiveSlicing(nil)},
-			{Name: "INFless/Llama", Factory: core.NewINFlessLlama()},
-		}
+		var scs []Scenario
 		for _, sch := range baselines {
-			res, err := runScenario(p, Scenario{
+			scs = append(scs, Scenario{
+				Label:  fmt.Sprintf("fig9 baseline %s", sch.Name),
 				Strict: m,
 				Rate:   wikiRate(p.Duration),
 				Policy: sch.Factory,
 				VM:     &vm.Config{Mode: vm.ModeOnDemandOnly},
 			})
-			if err != nil {
-				return nil, fmt.Errorf("fig9 baseline %s: %w", sch.Name, err)
-			}
-			baselineSLO += res.Recorder.SLOCompliance()
 		}
-		baselineSLO /= float64(len(baselines))
-
 		for _, avail := range fig9Availabilities() {
-			t.Rows = append(t.Rows, []string{
-				avail.Name, "Others (on-demand)", "1.00", pct(baselineSLO),
-			})
-			for _, variant := range []struct {
-				name string
-				mode vm.Mode
-			}{
-				{"Spot Only", vm.ModeSpotOnly},
-				{"PROTEAN", vm.ModeSpotPreferred},
-			} {
-				res, err := runScenario(p, Scenario{
+			for _, variant := range variants {
+				scs = append(scs, Scenario{
+					Label:  fmt.Sprintf("fig9 %s/%s", variant.name, avail.Name),
 					Strict: m,
 					Rate:   wikiRate(p.Duration),
 					Policy: core.NewProtean(core.ProteanConfig{}),
@@ -78,9 +68,33 @@ func Fig9CostVsSLO(p Params) (*Report, error) {
 						CheckInterval: 45,
 					},
 				})
-				if err != nil {
-					return nil, fmt.Errorf("fig9 %s/%s: %w", variant.name, avail.Name, err)
-				}
+			}
+		}
+		results, err := RunScenarios(p, scs)
+		if err != nil {
+			return nil, err
+		}
+
+		t := &Table{
+			Title:   fmt.Sprintf("Figure 9: normalized cost vs SLO compliance — %s", m.Name()),
+			Headers: []string{"availability", "scheme", "normalized cost", "SLO compliance"},
+		}
+		// On-demand baselines: availability-independent (run once,
+		// averaged across the baseline schemes as the paper plots).
+		baselineSLO := 0.0
+		for i := range baselines {
+			baselineSLO += results[i].Recorder.SLOCompliance()
+		}
+		baselineSLO /= float64(len(baselines))
+
+		k := len(baselines)
+		for _, avail := range fig9Availabilities() {
+			t.Rows = append(t.Rows, []string{
+				avail.Name, "Others (on-demand)", "1.00", pct(baselineSLO),
+			})
+			for _, variant := range variants {
+				res := results[k]
+				k++
 				cost := "n/a"
 				if res.Cost != nil {
 					cost = fmt.Sprintf("%.2f", res.Cost.Normalized)
@@ -112,11 +126,15 @@ func Fig10ThroughputUtilization(p Params) (*Report, error) {
 	dense := model.MustByName("DenseNet 121")
 	eff := model.MustByName("EfficientNet-B0")
 	effective := p.Duration - p.Warmup
-	for _, sch := range PrimarySchemes() {
-		res, err := runScenario(p, Scenario{Strict: dense, Rate: wikiRate(p.Duration), Policy: sch.Factory})
-		if err != nil {
-			return nil, fmt.Errorf("fig10a %s: %w", sch.Name, err)
-		}
+	schemes := PrimarySchemes()
+	results, err := RunScenarios(p, gridScenarios([]*model.Model{dense, eff}, schemes, func(sc *Scenario, _ *model.Model) {
+		sc.Rate = wikiRate(p.Duration)
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("fig10: %w", err)
+	}
+	for j, sch := range schemes {
+		res := results[j]
 		thr.Rows = append(thr.Rows, []string{
 			sch.Name,
 			fmt.Sprintf("%.1f", res.Recorder.Throughput(effective, res.Nodes, p.Duration)),
@@ -124,10 +142,7 @@ func Fig10ThroughputUtilization(p Params) (*Report, error) {
 			pct(res.Recorder.SLOCompliance()),
 		})
 
-		res2, err := runScenario(p, Scenario{Strict: eff, Rate: wikiRate(p.Duration), Policy: sch.Factory})
-		if err != nil {
-			return nil, fmt.Errorf("fig10b %s: %w", sch.Name, err)
-		}
+		res2 := results[len(schemes)+j]
 		util.Rows = append(util.Rows, []string{
 			sch.Name, pct(res2.BusyUtil), pct(res2.ComputeUtil), pct(res2.MemUtil),
 		})
@@ -146,16 +161,15 @@ func Fig11ErraticTrace(p Params) (*Report, error) {
 		Title:   "Figure 11: Twitter trace — MobileNet strict P99 breakdown",
 		Headers: []string{"scheme", "SLO", "P99", "min", "deficiency", "interference", "queue+cold"},
 	}
-	for _, sch := range PrimarySchemes() {
-		res, err := runScenario(p, Scenario{
-			Strict: m,
-			Rate:   twitterRate(p.Duration, p.Seed),
-			Policy: sch.Factory,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("fig11 %s: %w", sch.Name, err)
-		}
-		sum := res.Recorder.Summarize()
+	schemes := PrimarySchemes()
+	results, err := RunScenarios(p, gridScenarios([]*model.Model{m}, schemes, func(sc *Scenario, _ *model.Model) {
+		sc.Rate = twitterRate(p.Duration, p.Seed)
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("fig11: %w", err)
+	}
+	for j, sch := range schemes {
+		sum := results[j].Recorder.Summarize()
 		b := sum.P99Breakdown
 		t.Rows = append(t.Rows, []string{
 			sch.Name, pct(sum.SLOCompliance), ms(sum.P99),

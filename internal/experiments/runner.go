@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"protean/internal/cluster"
+	"protean/internal/metrics"
+)
+
+// workers resolves Params.Parallel to a worker count: 0 means one
+// worker per GOMAXPROCS, 1 forces sequential execution, anything else
+// is taken literally.
+func (p Params) workers() int {
+	switch {
+	case p.Parallel == 1:
+		return 1
+	case p.Parallel <= 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return p.Parallel
+	}
+}
+
+// RunScenarios executes every scenario and returns results indexed like
+// scs. Scenarios are independent — each owns its sim.Sim, trace, and
+// cluster — so they fan out across a pool of Params.Parallel worker
+// goroutines; results are collected by index and the first error (in
+// index order, not completion order) wins, which makes the outcome
+// byte-identical to a sequential run regardless of scheduling. Every
+// experiment harness that sweeps a scheme×model grid goes through here.
+func RunScenarios(p Params, scs []Scenario) ([]*cluster.Result, error) {
+	p = p.withDefaults()
+	results := make([]*cluster.Result, len(scs))
+	errs := make([]error, len(scs))
+	workers := p.workers()
+	if workers > len(scs) {
+		workers = len(scs)
+	}
+	if workers <= 1 {
+		for i, sc := range scs {
+			results[i], errs[i] = runScenario(p, sc)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i], errs[i] = runScenario(p, scs[i])
+				}
+			}()
+		}
+		for i := range scs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if scs[i].Label != "" {
+			return nil, fmt.Errorf("%s: %w", scs[i].Label, err)
+		}
+		return nil, fmt.Errorf("scenario %d: %w", i, err)
+	}
+	return results, nil
+}
+
+// SubSeed derives the simulation seed for replication i of a base seed.
+// Replication 0 keeps the base seed, so `-seeds 1` reproduces a plain
+// run exactly; later replications mix the index through a splitmix64
+// finalizer so neighbouring bases never share sub-seed sequences.
+func SubSeed(base int64, i int) int64 {
+	if i == 0 {
+		return base
+	}
+	z := uint64(base) + uint64(i)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// RunReplicated runs the experiment seeds times — replication i under
+// SubSeed(p.Seed, i) — and merges the reports cell-wise: numeric cells
+// become "mean ± half" 95% confidence intervals via metrics.MeanCI95,
+// non-numeric cells keep replication 0's value. seeds <= 1 is a plain
+// run.
+func RunReplicated(e Experiment, p Params, seeds int) (*Report, error) {
+	if seeds <= 1 {
+		return e.Run(p)
+	}
+	p = p.withDefaults()
+	reports := make([]*Report, seeds)
+	for i := range reports {
+		pi := p
+		pi.Seed = SubSeed(p.Seed, i)
+		r, err := e.Run(pi)
+		if err != nil {
+			return nil, fmt.Errorf("%s replication %d (seed %d): %w", e.ID, i, pi.Seed, err)
+		}
+		reports[i] = r
+	}
+	return aggregateReports(reports, p.Seed)
+}
+
+// aggregateReports merges same-shape reports cell-wise. Tables whose
+// shape varies across replications (seed-dependent row counts, like the
+// fig7 reconfiguration timeline) are kept from replication 0 verbatim,
+// with a note saying so.
+func aggregateReports(reports []*Report, baseSeed int64) (*Report, error) {
+	base := reports[0]
+	out := &Report{ID: base.ID}
+	for ti, bt := range base.Tables {
+		agg := &Table{
+			Title:   bt.Title,
+			Headers: append([]string{}, bt.Headers...),
+			Notes:   append([]string{}, bt.Notes...),
+		}
+		if !sameShape(reports, ti) {
+			agg.Rows = bt.Rows
+			agg.Notes = append(agg.Notes, fmt.Sprintf(
+				"rows are seed-dependent; showing seed %d only (no replication aggregate)", baseSeed))
+			out.Tables = append(out.Tables, agg)
+			continue
+		}
+		for ri, brow := range bt.Rows {
+			row := make([]string, len(brow))
+			for ci := range brow {
+				cells := make([]string, len(reports))
+				for k, r := range reports {
+					cells[k] = r.Tables[ti].Rows[ri][ci]
+				}
+				row[ci] = aggregateCell(cells)
+			}
+			agg.Rows = append(agg.Rows, row)
+		}
+		agg.Notes = append(agg.Notes, fmt.Sprintf(
+			"numeric cells are mean ± 95%% CI over %d replications (sub-seeds of seed %d)", len(reports), baseSeed))
+		out.Tables = append(out.Tables, agg)
+	}
+	return out, nil
+}
+
+// sameShape reports whether table ti has identical row/column counts in
+// every report.
+func sameShape(reports []*Report, ti int) bool {
+	base := reports[0].Tables[ti]
+	for _, r := range reports[1:] {
+		if ti >= len(r.Tables) || len(r.Tables[ti].Rows) != len(base.Rows) {
+			return false
+		}
+		for ri, row := range r.Tables[ti].Rows {
+			if len(row) != len(base.Rows[ri]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// numCell is a parsed table cell: value with its formatting preserved
+// so the aggregate renders like the inputs ("93.21%" → "93.21% ± 0.35%").
+type numCell struct {
+	prefix, suffix string
+	decimals       int
+	value          float64
+}
+
+// parseCell recognizes the cell formats the harnesses emit: plain
+// floats and ints, "%"-suffixed percentages, "ms"-suffixed latencies,
+// "$"-prefixed costs, and an optional leading sign.
+func parseCell(s string) (numCell, bool) {
+	c := numCell{}
+	rest := s
+	if strings.HasPrefix(rest, "$") {
+		c.prefix = "$"
+		rest = rest[1:]
+	}
+	for _, suffix := range []string{"%", "ms"} {
+		if strings.HasSuffix(rest, suffix) {
+			c.suffix = suffix
+			rest = strings.TrimSuffix(rest, suffix)
+			break
+		}
+	}
+	if rest == "" || strings.ContainsAny(rest, "eE") {
+		// Scientific notation (p-values) is left alone: its magnitude
+		// varies too wildly across seeds for a linear mean to be honest.
+		return numCell{}, false
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return numCell{}, false
+	}
+	if dot := strings.IndexByte(rest, '.'); dot >= 0 {
+		c.decimals = len(rest) - dot - 1
+	}
+	c.value = v
+	return c, true
+}
+
+// aggregateCell merges one cell position across replications. All cells
+// must parse with the same prefix/suffix to aggregate; otherwise the
+// first replication's value is kept as-is.
+func aggregateCell(cells []string) string {
+	first, ok := parseCell(cells[0])
+	if !ok {
+		return cells[0]
+	}
+	vals := make([]float64, len(cells))
+	for i, s := range cells {
+		c, ok := parseCell(s)
+		if !ok || c.prefix != first.prefix || c.suffix != first.suffix {
+			return cells[0]
+		}
+		vals[i] = c.value
+	}
+	mean, half, err := metrics.MeanCI95(vals)
+	if err != nil {
+		return cells[0]
+	}
+	d := first.decimals
+	return fmt.Sprintf("%s%.*f%s ± %.*f%s", first.prefix, d, mean, first.suffix, d, half, first.suffix)
+}

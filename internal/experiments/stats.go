@@ -26,20 +26,30 @@ func StatsSignificance(p Params) (*Report, error) {
 		cases = cases[:1]
 	}
 
-	var tables []*Table
+	schemes := PrimarySchemes()
+	var scs []Scenario
 	for _, tc := range cases {
-		// Collect strict latency samples per scheme.
-		latencies := make(map[string][]float64)
-		compliance := make(map[string]float64)
-		for _, sch := range PrimarySchemes() {
-			res, err := runScenario(p, Scenario{
+		for _, sch := range schemes {
+			scs = append(scs, Scenario{
+				Label:  fmt.Sprintf("stats %s/%s", tc.label, sch.Name),
 				Strict: tc.strict,
 				Rate:   constantRate(tc.rate),
 				Policy: sch.Factory,
 			})
-			if err != nil {
-				return nil, fmt.Errorf("stats %s/%s: %w", tc.label, sch.Name, err)
-			}
+		}
+	}
+	results, err := RunScenarios(p, scs)
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []*Table
+	for ci, tc := range cases {
+		// Collect strict latency samples per scheme.
+		latencies := make(map[string][]float64)
+		compliance := make(map[string]float64)
+		for j, sch := range schemes {
+			res := results[ci*len(schemes)+j]
 			latencies[sch.Name] = res.Recorder.Strict().Latencies()
 			compliance[sch.Name] = res.Recorder.SLOCompliance()
 		}
@@ -56,7 +66,7 @@ func StatsSignificance(p Params) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, sch := range PrimarySchemes() {
+		for _, sch := range schemes {
 			if sch.Name == "PROTEAN" {
 				continue
 			}
@@ -90,12 +100,15 @@ func StatsSignificance(p Params) (*Report, error) {
 	return &Report{ID: "stats", Tables: tables}, nil
 }
 
+// formatP renders a p-value. WelchT computes the tail through the t
+// survival function, so even extreme separations yield a representable
+// magnitude; only float64 underflow (p below ~5e-324) prints as "<1e-300".
 func formatP(p float64) string {
-	if p < 1e-12 {
-		return "~0"
-	}
 	if math.IsNaN(p) {
 		return "n/a"
+	}
+	if p == 0 { //lint:ignore floateq exact underflow-to-zero check, not a tolerance comparison
+		return "<1e-300"
 	}
 	return fmt.Sprintf("%.2e", p)
 }

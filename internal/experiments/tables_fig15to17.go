@@ -19,17 +19,23 @@ func Table4AllStrict(p Params) (*Report, error) {
 		Title:   "Table 4: SLO compliance, 100% strict (ResNet 50)",
 		Headers: []string{"scheme", "SLO compliance"},
 	}
-	for _, sch := range PrimarySchemes() {
-		res, err := runScenario(p, Scenario{
+	schemes := PrimarySchemes()
+	var scs []Scenario
+	for _, sch := range schemes {
+		scs = append(scs, Scenario{
+			Label:      fmt.Sprintf("table4 %s", sch.Name),
 			Strict:     model.MustByName("ResNet 50"),
 			StrictFrac: 1.0,
 			Rate:       wikiRate(p.Duration),
 			Policy:     sch.Factory,
 		})
-		if err != nil {
-			return nil, fmt.Errorf("table4 %s: %w", sch.Name, err)
-		}
-		t.Rows = append(t.Rows, []string{sch.Name, pct(res.Recorder.SLOCompliance())})
+	}
+	results, err := RunScenarios(p, scs)
+	if err != nil {
+		return nil, err
+	}
+	for j, sch := range schemes {
+		t.Rows = append(t.Rows, []string{sch.Name, pct(results[j].Recorder.SLOCompliance())})
 	}
 	return &Report{ID: "table4", Tables: []*Table{t}}, nil
 }
@@ -46,17 +52,22 @@ func Table5AllBE(p Params) (*Report, error) {
 		Name:    "PROTEAN (BE-fair)",
 		Factory: core.NewProtean(core.ProteanConfig{BEFairPlacement: true}),
 	})
+	var scs []Scenario
 	for _, sch := range schemes {
-		res, err := runScenario(p, Scenario{
+		scs = append(scs, Scenario{
+			Label:      fmt.Sprintf("table5 %s", sch.Name),
 			StrictFrac: 0,
 			BEPool:     model.VisionHI(),
 			Rate:       trace.Constant(AllBEMeanRPS),
 			Policy:     sch.Factory,
 		})
-		if err != nil {
-			return nil, fmt.Errorf("table5 %s: %w", sch.Name, err)
-		}
-		be := res.Recorder.BestEffort()
+	}
+	results, err := RunScenarios(p, scs)
+	if err != nil {
+		return nil, err
+	}
+	for j, sch := range schemes {
+		be := results[j].Recorder.BestEffort()
 		t.Rows = append(t.Rows, []string{sch.Name, ms(be.Percentile(50)), ms(be.Percentile(99))})
 	}
 	t.Notes = append(t.Notes,
@@ -87,19 +98,18 @@ func Fig15TightSLO(p Params) (*Report, error) {
 	for _, s := range schemes {
 		t.Headers = append(t.Headers, s.Name)
 	}
-	for _, m := range fig15Models(p) {
+	models := fig15Models(p)
+	results, err := RunScenarios(p, gridScenarios(models, schemes, func(sc *Scenario, _ *model.Model) {
+		sc.Rate = wikiRate(p.Duration)
+		sc.SLOMultiplier = 2.0
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("fig15: %w", err)
+	}
+	for i, m := range models {
 		row := []string{m.Name()}
-		for _, sch := range schemes {
-			res, err := runScenario(p, Scenario{
-				Strict:        m,
-				Rate:          wikiRate(p.Duration),
-				SLOMultiplier: 2.0,
-				Policy:        sch.Factory,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig15 %s/%s: %w", m.Name(), sch.Name, err)
-			}
-			row = append(row, pct(res.Recorder.SLOCompliance()))
+		for j := range schemes {
+			row = append(row, pct(results[i*len(schemes)+j].Recorder.SLOCompliance()))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -131,15 +141,17 @@ func Fig16GPUlet(p Params) (*Report, error) {
 	for _, s := range schemes {
 		t.Headers = append(t.Headers, s.Name)
 	}
-	rate := trace.Constant(GPUletMeanRPS)
-	for _, m := range fig16Models(p) {
+	models := fig16Models(p)
+	results, err := RunScenarios(p, gridScenarios(models, schemes, func(sc *Scenario, _ *model.Model) {
+		sc.Rate = trace.Constant(GPUletMeanRPS)
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("fig16: %w", err)
+	}
+	for i, m := range models {
 		row := []string{m.Name()}
-		for _, sch := range schemes {
-			res, err := runScenario(p, Scenario{Strict: m, Rate: rate, Policy: sch.Factory})
-			if err != nil {
-				return nil, fmt.Errorf("fig16 %s/%s: %w", m.Name(), sch.Name, err)
-			}
-			row = append(row, pct(res.Recorder.SLOCompliance()))
+		for j := range schemes {
+			row = append(row, pct(results[i*len(schemes)+j].Recorder.SLOCompliance()))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -173,14 +185,18 @@ func Fig17Oracle(p Params) (*Report, error) {
 		Title:   "Figure 17: PROTEAN vs Oracle",
 		Headers: []string{"strict model", "PROTEAN SLO", "Oracle SLO", "PROTEAN P99", "Oracle P99"},
 	}
-	for _, m := range fig17Models(p) {
+	models := fig17Models(p)
+	results, err := RunScenarios(p, gridScenarios(models, schemes, func(sc *Scenario, _ *model.Model) {
+		sc.Rate = wikiRate(p.Duration)
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("fig17: %w", err)
+	}
+	for i, m := range models {
 		row := []string{m.Name()}
 		var slo, p99 []string
-		for _, sch := range schemes {
-			res, err := runScenario(p, Scenario{Strict: m, Rate: wikiRate(p.Duration), Policy: sch.Factory})
-			if err != nil {
-				return nil, fmt.Errorf("fig17 %s/%s: %w", m.Name(), sch.Name, err)
-			}
+		for j := range schemes {
+			res := results[i*len(schemes)+j]
 			slo = append(slo, pct(res.Recorder.SLOCompliance()))
 			p99 = append(p99, ms(res.Recorder.Strict().Percentile(99)))
 		}

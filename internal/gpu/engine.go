@@ -278,14 +278,25 @@ func (sl *Slice) TotalComputeDemand() float64 {
 	return total
 }
 
-// Slowdown is the current MPS interference multiplier max(Σ FBR, 1) on the
-// slice. Time-shared slices always report 1.
+// Slowdown is the worst interference multiplier currently in force on
+// the slice: the max over running jobs of the full per-job multiplier
+// (bandwidth contention with cache-pollution amplification, and SM
+// contention — everything slowdownFor applies). Idle and time-shared
+// slices report 1.
 func (sl *Slice) Slowdown() float64 {
-	if sl.Mode == ShareTimeSlice {
-		return 1
+	worst := 1.0
+	for _, j := range sl.running {
+		if s := sl.slowdownFor(j); s > worst {
+			worst = s
+		}
 	}
-	return math.Max(sl.TotalFBR(), 1)
+	return worst
 }
+
+// SlowdownFor is the full interference multiplier the engine applies to
+// job j while the slice occupancy stays as it is now — the per-job term
+// Slowdown takes the max of.
+func (sl *Slice) SlowdownFor(j *Job) float64 { return sl.slowdownFor(j) }
 
 // DefaultInterferenceAmp is the cache-interference amplification factor
 // γ: a co-runner's effective bandwidth demand on a victim is
@@ -356,6 +367,15 @@ func (sl *Slice) Submit(j *Job) error {
 	return nil
 }
 
+// AdmitLookahead bounds how many memory-blocked pending jobs MPS
+// admission may skip past when searching for a startable one. A small
+// bound lets queued best-effort batches run behind a head batch that is
+// too large for the remaining slice memory (head-of-line blocking),
+// while keeping the head's wait bounded: once memory frees up, the head
+// is the first admissible job again. Queue order — strict-first when
+// the GPU reorders pending work — is preserved among admissible jobs.
+const AdmitLookahead = 4
+
 // tryStart admits pending jobs whose resources are available.
 func (sl *Slice) tryStart() {
 	if sl.closed {
@@ -369,12 +389,24 @@ func (sl *Slice) tryStart() {
 			sl.start(j)
 		}
 	case ShareMPS:
-		for len(sl.pending) > 0 {
-			j := sl.pending[0]
-			if sl.usedMem+j.W.MemGB(sl.Prof) > sl.Prof.MemGB {
-				break
+		for {
+			pick := -1
+			blocked := 0
+			for i, j := range sl.pending {
+				if sl.usedMem+j.W.MemGB(sl.Prof) <= sl.Prof.MemGB {
+					pick = i
+					break
+				}
+				blocked++
+				if blocked > AdmitLookahead {
+					break
+				}
 			}
-			sl.pending = sl.pending[1:]
+			if pick < 0 {
+				return
+			}
+			j := sl.pending[pick]
+			sl.pending = append(sl.pending[:pick], sl.pending[pick+1:]...)
 			sl.start(j)
 		}
 	}

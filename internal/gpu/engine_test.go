@@ -606,6 +606,139 @@ func TestComputeDemandBelowCapacityRunsConcurrently(t *testing.T) {
 	}
 }
 
+func TestSlowdownReportsFullPerJobMultiplier(t *testing.T) {
+	// Regression: Slowdown() used to report only max(Σ FBR, 1), hiding
+	// the cache-pollution amplification and SM-contention terms that
+	// slowdownFor actually applies. It must agree with the max over
+	// running jobs of the exported per-job path.
+	s := sim.New(1)
+	g := newTestGPU(t, s, MustGeometry(Profile7g), ShareMPS)
+	sl := g.Slices()[0]
+	// A cache-sensitive job next to a polluting one, plus SM pressure:
+	// both the amplification and the compute term are in play.
+	victim := &stubWorkload{name: "victim", solo7g: 10, fbr: 0.6, mem: 5, csens: 0.8, sm: 0.7}
+	bully := &stubWorkload{name: "bully", solo7g: 10, fbr: 0.8, mem: 5, poll: 0.9, sm: 0.7}
+	j1, j2 := &Job{W: victim}, &Job{W: bully}
+	for _, j := range []*Job{j1, j2} {
+		if err := sl.Submit(j); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	want := math.Max(sl.SlowdownFor(j1), sl.SlowdownFor(j2))
+	if got := sl.Slowdown(); !almostEqual(got, want) {
+		t.Errorf("Slowdown = %v, want max per-job multiplier %v", got, want)
+	}
+	// The victim sees amplified demand: 0.6 + 0.8×(1 + 4×0.9×0.8) /
+	// normalized by its own 0.6... strictly above the naive ΣFBR figure.
+	naive := math.Max(sl.TotalFBR(), 1)
+	if got := sl.Slowdown(); got <= naive {
+		t.Errorf("Slowdown = %v, want > naive ΣFBR multiplier %v (amplification ignored)", got, naive)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Idle slice reports 1 again.
+	if got := sl.Slowdown(); !almostEqual(got, 1) {
+		t.Errorf("idle Slowdown = %v, want 1", got)
+	}
+}
+
+func TestSlowdownTimeSliceAlwaysOne(t *testing.T) {
+	s := sim.New(1)
+	g := newTestGPU(t, s, MustGeometry(Profile7g), ShareTimeSlice)
+	sl := g.Slices()[0]
+	w := &stubWorkload{name: "w", solo7g: 1.0, fbr: 5.0, mem: 5}
+	if err := sl.Submit(&Job{W: w}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if got := sl.Slowdown(); !almostEqual(got, 1) {
+		t.Errorf("time-shared Slowdown = %v, want 1", got)
+	}
+}
+
+func TestMPSAdmissionSkipsBlockedHead(t *testing.T) {
+	// Regression (head-of-line blocking): with ReorderPending, a strict
+	// batch too large for the remaining slice memory used to starve
+	// smaller best-effort batches queued behind it until the slice fully
+	// drained. Admission now skips past a blocked head (bounded
+	// lookahead) while keeping queue order among admissible jobs.
+	s := sim.New(1)
+	g := newTestGPU(t, s, MustGeometry(Profile7g), ShareMPS)
+	g.ReorderPending = true
+	sl := g.Slices()[0]
+	occupant := &Job{W: &stubWorkload{name: "occupant", solo7g: 10, fbr: 0.1, mem: 30}}
+	if err := sl.Submit(occupant); err != nil {
+		t.Fatalf("Submit occupant: %v", err)
+	}
+	// 10 GB free: the 20 GB strict head cannot start...
+	bigStrict := &Job{W: &stubWorkload{name: "big-strict", solo7g: 1, fbr: 0.1, mem: 20}, Strict: true}
+	beA := &Job{W: &stubWorkload{name: "be-a", solo7g: 1, fbr: 0.1, mem: 4}}
+	beB := &Job{W: &stubWorkload{name: "be-b", solo7g: 1, fbr: 0.1, mem: 4}}
+	for _, j := range []*Job{bigStrict, beA, beB} {
+		if err := sl.Submit(j); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	// ...but the two 4 GB BE jobs behind it must be running already.
+	if got := len(sl.Running()); got != 3 {
+		t.Fatalf("running = %d, want 3 (occupant + both BE jobs)", got)
+	}
+	if bigStrict.running {
+		t.Fatal("oversized strict head started without memory")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Queue order among admissible jobs is preserved, and the strict
+	// head starts as soon as the occupant's 30 GB free up (t = 10).
+	if !(beA.Started() <= beB.Started()) {
+		t.Errorf("BE admission out of order: %v after %v", beA.Started(), beB.Started())
+	}
+	if !almostEqual(bigStrict.Started(), 10) {
+		t.Errorf("strict head started at %v, want 10 (right after the occupant drains)", bigStrict.Started())
+	}
+	for i, j := range []*Job{occupant, bigStrict, beA, beB} {
+		if !j.Done() {
+			t.Errorf("job %d never completed", i)
+		}
+	}
+}
+
+func TestMPSAdmissionLookaheadBounded(t *testing.T) {
+	// More than AdmitLookahead blocked jobs ahead of an admissible one:
+	// the scan must give up (the bound is what keeps the head's own wait
+	// bounded), so the small job stays pending.
+	s := sim.New(1)
+	g := newTestGPU(t, s, MustGeometry(Profile7g), ShareMPS)
+	sl := g.Slices()[0]
+	occupant := &Job{W: &stubWorkload{name: "occupant", solo7g: 10, fbr: 0.1, mem: 30}}
+	if err := sl.Submit(occupant); err != nil {
+		t.Fatalf("Submit occupant: %v", err)
+	}
+	big := &stubWorkload{name: "big", solo7g: 1, fbr: 0.1, mem: 20}
+	for i := 0; i <= AdmitLookahead; i++ {
+		if err := sl.Submit(&Job{W: big}); err != nil {
+			t.Fatalf("Submit blocked %d: %v", i, err)
+		}
+	}
+	small := &Job{W: &stubWorkload{name: "small", solo7g: 1, fbr: 0.1, mem: 4}}
+	if err := sl.Submit(small); err != nil {
+		t.Fatalf("Submit small: %v", err)
+	}
+	if small.running {
+		t.Fatalf("small job started past %d blocked jobs; lookahead not bounded", AdmitLookahead+1)
+	}
+	if got := len(sl.Running()); got != 1 {
+		t.Fatalf("running = %d, want only the occupant", got)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !small.Done() {
+		t.Error("small job never completed")
+	}
+}
+
 func TestBusyFractionNonIdleTime(t *testing.T) {
 	// Two slices each busy for disjoint 1 s windows: the GPU is
 	// non-idle for 2 of 4 seconds regardless of slice size.

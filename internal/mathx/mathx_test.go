@@ -179,6 +179,42 @@ func TestStudentTCDF(t *testing.T) {
 	}
 }
 
+func TestStudentTSF(t *testing.T) {
+	// Agreement with the CDF where 1 − CDF is still resolvable.
+	for _, tc := range []struct{ tv, nu float64 }{
+		{0, 10}, {0.5, 3}, {1.3, 7}, {2.7, 7}, {-1.3, 7}, {4, 25},
+	} {
+		got := StudentTSF(tc.tv, tc.nu)
+		want := 1 - StudentTCDF(tc.tv, tc.nu)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("SF(%v, %v) = %v, want 1-CDF = %v", tc.tv, tc.nu, got, want)
+		}
+	}
+	// Known value: for nu=1 (Cauchy), P(T > 1) = 0.25.
+	if got := StudentTSF(1, 1); math.Abs(got-0.25) > 1e-6 {
+		t.Errorf("Cauchy SF(1) = %v, want 0.25", got)
+	}
+	// The whole point: deep tails stay nonzero where 1 − CDF cancels
+	// to exactly 0.
+	if got := 1 - StudentTCDF(40, 30); got != 0 {
+		t.Skipf("1-CDF(40, 30) = %v resolves on this platform; cancellation premise gone", got)
+	}
+	tail := StudentTSF(40, 30)
+	if !(tail > 0) {
+		t.Fatalf("SF(40, 30) = %v, want > 0", tail)
+	}
+	if tail > 1e-20 {
+		t.Errorf("SF(40, 30) = %v, want a deep-tail probability < 1e-20", tail)
+	}
+	// Still monotone in t out in the tail.
+	if !(StudentTSF(50, 30) < tail) {
+		t.Errorf("SF not monotone: SF(50) = %v >= SF(40) = %v", StudentTSF(50, 30), tail)
+	}
+	if !math.IsNaN(StudentTSF(1, 0)) {
+		t.Error("SF with nu=0 should be NaN")
+	}
+}
+
 func TestNormCDF(t *testing.T) {
 	tests := []struct{ z, want float64 }{
 		{0, 0.5},

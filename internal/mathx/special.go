@@ -91,6 +91,26 @@ func StudentTCDF(t, nu float64) float64 {
 	return p
 }
 
+// StudentTSF is the survival function P(T > t) of Student's t
+// distribution with nu degrees of freedom. Unlike 1 − StudentTCDF(t, nu),
+// which cancels to exactly 0 once the CDF rounds to 1 (|t| ≳ 9 already
+// does at small nu), the tail is computed directly from the regularized
+// incomplete beta function — for t > 0 the argument x = nu/(nu+t²) is
+// small, which is RegIncBeta's direct (non-complemented) branch — so
+// extreme statistics yield tiny but nonzero probabilities down to the
+// underflow limit.
+func StudentTSF(t, nu float64) float64 {
+	if nu <= 0 {
+		return math.NaN()
+	}
+	x := nu / (nu + t*t)
+	tail := 0.5 * RegIncBeta(nu/2, 0.5, x) // P(T > |t|) by symmetry
+	if t >= 0 {
+		return tail
+	}
+	return 1 - tail
+}
+
 // NormCDF is the standard normal CDF.
 func NormCDF(z float64) float64 {
 	return 0.5 * math.Erfc(-z/math.Sqrt2)

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"protean/internal/gpu"
+	"protean/internal/mathx"
 )
 
 func add(r *Recorder, strict bool, latency, slo float64, weight int) {
@@ -254,6 +255,44 @@ func TestWelchTSameDistribution(t *testing.T) {
 	}
 	if res.P < 0.001 {
 		t.Errorf("p = %v, same-distribution samples should rarely be this significant", res.P)
+	}
+}
+
+func TestWelchTSmallPValuesResolvable(t *testing.T) {
+	// Regression: p = 2·(1 − CDF(|t|)) cancelled to exactly 0 for
+	// moderately large |t|, so stats tables could not tell p ≈ 1e-12
+	// from a degenerate true 0. Two tight, well-separated samples give
+	// an enormous t whose p must come out tiny but strictly positive.
+	var a, b []float64
+	for i := 0; i < 30; i++ {
+		a = append(a, 1.0+float64(i)*1e-4)
+		b = append(b, 2.0+float64(i)*1e-4)
+	}
+	res, err := WelchT(a, b)
+	if err != nil {
+		t.Fatalf("WelchT: %v", err)
+	}
+	if !(res.P > 0) {
+		t.Fatalf("p = %v, want > 0 (survival path must not cancel)", res.P)
+	}
+	if res.P > 1e-12 {
+		t.Errorf("p = %v, want < 1e-12 for |t| = %v", res.P, math.Abs(res.T))
+	}
+	// Against the moderate regime, the survival path must agree with the
+	// old complement formula where that is still well conditioned.
+	rng := rand.New(rand.NewSource(7))
+	a, b = nil, nil
+	for i := 0; i < 50; i++ {
+		a = append(a, rng.NormFloat64())
+		b = append(b, 0.3+rng.NormFloat64())
+	}
+	res, err = WelchT(a, b)
+	if err != nil {
+		t.Fatalf("WelchT: %v", err)
+	}
+	complement := 2 * (1 - mathx.StudentTCDF(math.Abs(res.T), res.DF))
+	if math.Abs(res.P-complement) > 1e-9 {
+		t.Errorf("moderate-t p = %v, want %v (complement formula)", res.P, complement)
 	}
 }
 

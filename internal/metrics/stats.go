@@ -54,9 +54,12 @@ func WelchT(a, b []float64) (WelchResult, error) {
 	}
 	t := (ma - mb) / se
 	df := (sa + sb) * (sa + sb) / (sa*sa/(na-1) + sb*sb/(nb-1))
-	p := 2 * (1 - mathx.StudentTCDF(math.Abs(t), df))
-	if p < 0 {
-		p = 0
+	// The survival-function path keeps small p-values resolvable: the
+	// algebraically equivalent 2·(1 − CDF) cancels to exactly 0 for
+	// moderately large |t|, collapsing every strong result to "0".
+	p := 2 * mathx.StudentTSF(math.Abs(t), df)
+	if p > 1 {
+		p = 1
 	}
 	return WelchResult{T: t, DF: df, P: p}, nil
 }

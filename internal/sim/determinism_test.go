@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"protean"
+	"protean/internal/experiments"
 )
 
 func runScenario(t *testing.T, seed int64) []byte {
@@ -56,5 +57,33 @@ func TestScenarioVariesAcrossSeeds(t *testing.T) {
 	other := runScenario(t, 1042)
 	if bytes.Equal(base, other) {
 		t.Fatalf("different seeds produced byte-identical results — seed is not reaching the simulator:\n%s", base)
+	}
+}
+
+// TestParallelRunScenariosMatchesSequential extends the determinism
+// contract to the worker-pool runner: fanning a whole experiment's
+// scenario grid across goroutines must yield reports byte-identical to
+// the sequential order, because results are collected by index and each
+// scenario owns its simulator.
+func TestParallelRunScenariosMatchesSequential(t *testing.T) {
+	runFig5 := func(parallel int) []byte {
+		p := experiments.Params{
+			Nodes: 4, Duration: 20, Warmup: 5, Seed: 42,
+			Quick: true, Parallel: parallel,
+		}
+		report, err := experiments.Fig5SLOCompliance(p)
+		if err != nil {
+			t.Fatalf("fig5 (parallel=%d): %v", parallel, err)
+		}
+		data, err := json.Marshal(report)
+		if err != nil {
+			t.Fatalf("marshal report: %v", err)
+		}
+		return data
+	}
+	seq := runFig5(1)
+	par := runFig5(8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("parallel run diverged from sequential:\n sequential: %s\n parallel:   %s", seq, par)
 	}
 }

@@ -107,6 +107,9 @@ func (s *Sim) MustAfter(d float64, fn func()) *Timer {
 }
 
 // Stop halts the simulation after the currently executing event returns.
+// Calling Stop while no run is in progress arms the next Run/RunUntil to
+// return ErrStopped before executing any event; the stop is consumed
+// either way, so a subsequent run resumes normally.
 func (s *Sim) Stop() { s.stopped = true }
 
 // Pending returns the number of queued (uncancelled) events.
@@ -127,11 +130,16 @@ func (s *Sim) Run() error { return s.RunUntil(math.Inf(1)) }
 // RunUntil executes events with timestamps <= horizon, advancing the clock
 // as it goes. When it returns the clock is at min(horizon, last event time)
 // unless the queue drained earlier. It returns ErrStopped if Stop was
-// called.
+// called, including a Stop issued before the run started (in which case
+// no event executes); the stop is consumed, so a later run proceeds.
 func (s *Sim) RunUntil(horizon float64) error {
-	s.stopped = false
+	if s.stopped {
+		s.stopped = false
+		return ErrStopped
+	}
 	for len(s.queue) > 0 {
 		if s.stopped {
+			s.stopped = false
 			return ErrStopped
 		}
 		next := s.queue[0]
