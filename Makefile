@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench-quick ci
+.PHONY: all build vet lint test race bench-quick trace-demo ci
 
 all: build
 
@@ -27,5 +27,11 @@ race:
 # runner; CI uses this to catch runner regressions end to end.
 bench-quick:
 	$(GO) run ./cmd/protean-bench -run fig2,stats -quick -parallel 4
+
+# Record a quick traced scenario and write trace-demo.json — open it at
+# ui.perfetto.dev (or chrome://tracing) to inspect batch lifecycles,
+# MIG reconfigurations and autoscale decisions on a timeline.
+trace-demo:
+	$(GO) run ./cmd/protean-bench -run fig2 -quick -trace trace-demo.json
 
 ci: build vet lint race bench-quick

@@ -9,6 +9,13 @@
 //	protean-bench -run all -parallel 4
 //	protean-bench -run fig5 -seeds 5
 //	protean-bench -run fig9 -json
+//	protean-bench -run fig2 -quick -trace fig2.json
+//
+// -trace records every simulation's lifecycle events and writes the
+// merged trace to FILE: Chrome trace-event JSON (open in Perfetto or
+// chrome://tracing) by default, or a JSONL event log when FILE ends in
+// .jsonl. The trace is deterministic: same seed, same bytes, at any
+// -parallel setting.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"time"
 
 	"protean/internal/experiments"
+	"protean/internal/obs"
 )
 
 func main() {
@@ -45,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		quick    = fs.Bool("quick", false, "smaller model sweeps and durations")
 		asJSON   = fs.Bool("json", false, "emit JSON instead of text tables")
 		format   = fs.String("format", "text", "table format: text, markdown, csv")
+		traceOut = fs.String("trace", "", "write a merged lifecycle trace to `file` (.jsonl = event log, else Chrome trace JSON)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +91,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Parallel: *parallel,
 		Quick:    *quick,
 	}
+	if *traceOut != "" {
+		params.Trace = obs.NewTraceSet()
+	}
 	for _, e := range selected {
 		started := time.Now()
 		report, err := experiments.RunReplicated(e, params, *seeds)
@@ -104,5 +116,38 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintln(stdout)
 	}
+	if params.Trace != nil {
+		if err := writeTrace(*traceOut, params.Trace, stderr); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeTrace exports the merged trace set to path, picking the format
+// from the extension, and summarizes what was recorded on stderr.
+func writeTrace(path string, ts *obs.TraceSet, stderr io.Writer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	traces := ts.Traces()
+	if strings.HasSuffix(path, ".jsonl") {
+		err = obs.WriteJSONL(f, traces)
+	} else {
+		err = obs.WriteChrome(f, traces)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	var all []obs.Event
+	for _, tr := range traces {
+		all = append(all, tr.Events...)
+	}
+	fmt.Fprintf(stderr, "[trace: %d runs, %d events (%s) -> %s]\n",
+		len(traces), len(all), obs.FormatKindCounts(obs.KindCounts(all)), path)
 	return nil
 }

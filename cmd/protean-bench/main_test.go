@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -66,6 +69,75 @@ func TestParallelStdoutByteIdentical(t *testing.T) {
 	if outputs[0] != outputs[1] {
 		t.Errorf("stdout differs between -parallel 1 and -parallel 4:\n--- sequential ---\n%s\n--- parallel ---\n%s",
 			outputs[0], outputs[1])
+	}
+}
+
+// TestTraceByteIdenticalAcrossParallel is the trace determinism
+// contract: -trace must write the same bytes whether the scenarios ran
+// sequentially or across a worker pool, in both export formats.
+func TestTraceByteIdenticalAcrossParallel(t *testing.T) {
+	dir := t.TempDir()
+	for _, ext := range []string{".json", ".jsonl"} {
+		files := make([][]byte, 2)
+		for i, par := range []string{"1", "4"} {
+			path := filepath.Join(dir, "p"+par+ext)
+			args := []string{"-run", "fig8", "-quick", "-seed", "7", "-parallel", par, "-trace", path}
+			if err := run(args, io.Discard, io.Discard); err != nil {
+				t.Fatalf("run -parallel %s -trace: %v", par, err)
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read trace: %v", err)
+			}
+			if len(data) == 0 {
+				t.Fatalf("empty trace file %s", path)
+			}
+			files[i] = data
+		}
+		if !bytes.Equal(files[0], files[1]) {
+			t.Errorf("%s trace differs between -parallel 1 and -parallel 4", ext)
+		}
+	}
+}
+
+// TestTraceRepeatable: two identical traced invocations must produce
+// byte-identical exports.
+func TestTraceRepeatable(t *testing.T) {
+	dir := t.TempDir()
+	files := make([][]byte, 2)
+	for i := range files {
+		path := filepath.Join(dir, fmt.Sprintf("run%d.json", i))
+		if err := run([]string{"-run", "table4", "-quick", "-seed", "3", "-trace", path}, io.Discard, io.Discard); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		files[i] = data
+	}
+	if !bytes.Equal(files[0], files[1]) {
+		t.Error("repeated traced runs produced different bytes")
+	}
+}
+
+// TestTraceSummaryOnStderr: the trace report goes to stderr so stdout
+// stays byte-identical with and without -trace.
+func TestTraceSummaryOnStderr(t *testing.T) {
+	dir := t.TempDir()
+	var plain, traced, errs bytes.Buffer
+	if err := run([]string{"-run", "table4", "-quick"}, &plain, io.Discard); err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	path := filepath.Join(dir, "t.json")
+	if err := run([]string{"-run", "table4", "-quick", "-trace", path}, &traced, &errs); err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+	if plain.String() != traced.String() {
+		t.Error("-trace changed stdout")
+	}
+	if !strings.Contains(errs.String(), "[trace: ") {
+		t.Errorf("trace summary missing from stderr: %q", errs.String())
 	}
 }
 

@@ -3,6 +3,7 @@
 // metrics.
 //
 //	protean-load -server http://localhost:8080 -model "ResNet 50" -rps 9000
+//	protean-load -server http://localhost:8080 -model "ResNet 50" -rps 9000 -json
 package main
 
 import (
@@ -18,13 +19,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "protean-load:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("protean-load", flag.ContinueOnError)
 	var (
 		server      = fs.String("server", "http://localhost:8080", "proteand base URL")
@@ -39,6 +40,7 @@ func run(args []string) error {
 		procurement = fs.String("procurement", "", "VM layer: '', on-demand, hybrid, spot-only")
 		spot        = fs.String("spot", "high", "spot availability: high, moderate, low")
 		timeout     = fs.Duration("timeout", 5*time.Minute, "request timeout")
+		asJSON      = fs.Bool("json", false, "print the server's JSON response instead of the text summary")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,7 +76,19 @@ func run(args []string) error {
 		return err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("server returned %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+		return fmt.Errorf("server returned %d: %s", resp.StatusCode, serverError(data))
+	}
+
+	if *asJSON {
+		// Re-indent rather than echo raw bytes so piped output is stable
+		// and readable regardless of the server's encoder settings.
+		var buf bytes.Buffer
+		if err := json.Indent(&buf, data, "", "  "); err != nil {
+			return fmt.Errorf("decode response: %w", err)
+		}
+		buf.WriteByte('\n')
+		_, err := stdout.Write(buf.Bytes())
+		return err
 	}
 
 	var out struct {
@@ -87,20 +101,54 @@ func run(args []string) error {
 		ColdStarts       int     `json:"coldStarts"`
 		Reconfigurations int     `json:"reconfigurations"`
 		NormalizedCost   float64 `json:"normalizedCost"`
+		Models           []struct {
+			Model    string `json:"model"`
+			Requests int    `json:"requests"`
+			P99      float64 `json:"p99Seconds"`
+		} `json:"models"`
 	}
 	if err := json.Unmarshal(data, &out); err != nil {
 		return fmt.Errorf("decode response: %w", err)
 	}
 
-	fmt.Printf("scheme=%s model=%q rate=%.0f rps (%s trace, %d nodes)\n", *scheme, *modelName, *rps, *shape, *nodes)
-	fmt.Printf("  SLO compliance:   %.2f%%\n", out.SLOCompliance*100)
-	fmt.Printf("  strict P50 / P99: %.1f ms / %.1f ms\n", out.StrictP50Millis, out.StrictP99Millis)
-	fmt.Printf("  BE P99:           %.1f ms\n", out.BEP99Millis)
-	fmt.Printf("  requests:         %d\n", out.Requests)
-	fmt.Printf("  GPU utilization:  %.1f%%\n", out.GPUUtilization*100)
-	fmt.Printf("  cold starts:      %d, reconfigurations: %d\n", out.ColdStarts, out.Reconfigurations)
+	w := &printer{w: stdout}
+	w.printf("scheme=%s model=%q rate=%.0f rps (%s trace, %d nodes)\n", *scheme, *modelName, *rps, *shape, *nodes)
+	w.printf("  SLO compliance:   %.2f%%\n", out.SLOCompliance*100)
+	w.printf("  strict P50 / P99: %.1f ms / %.1f ms\n", out.StrictP50Millis, out.StrictP99Millis)
+	w.printf("  BE P99:           %.1f ms\n", out.BEP99Millis)
+	w.printf("  requests:         %d\n", out.Requests)
+	w.printf("  GPU utilization:  %.1f%%\n", out.GPUUtilization*100)
+	w.printf("  cold starts:      %d, reconfigurations: %d\n", out.ColdStarts, out.Reconfigurations)
 	if out.NormalizedCost > 0 {
-		fmt.Printf("  normalized cost:  %.3f of on-demand\n", out.NormalizedCost)
+		w.printf("  normalized cost:  %.3f of on-demand\n", out.NormalizedCost)
 	}
-	return nil
+	for _, m := range out.Models {
+		w.printf("  model %-16q %6d requests, P99 %.1f ms\n", m.Model, m.Requests, m.P99*1000)
+	}
+	return w.err
+}
+
+// serverError extracts the message from proteand's {"error": "..."} body,
+// falling back to the raw (trimmed) body for non-JSON responses.
+func serverError(data []byte) string {
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &body); err == nil && body.Error != "" {
+		return body.Error
+	}
+	return strings.TrimSpace(string(data))
+}
+
+// printer folds write errors so the summary lines stay uncluttered.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
 }

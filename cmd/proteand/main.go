@@ -1,6 +1,6 @@
 // Command proteand serves the PROTEAN control plane over HTTP: model and
-// scheme catalogs, on-demand scenario simulation, and paper-experiment
-// regeneration.
+// scheme catalogs, on-demand scenario simulation, paper-experiment
+// regeneration, per-simulation trace download, and Prometheus metrics.
 //
 //	proteand -addr :8080
 //
@@ -11,7 +11,9 @@
 //	GET  /schemes
 //	GET  /experiments
 //	POST /experiments/{id}[?quick=1]
-//	POST /simulate
+//	POST /simulate                     body may set "trace": true
+//	GET  /traces/{id}[?format=jsonl]   Chrome trace-event JSON by default
+//	GET  /metrics                      Prometheus text exposition
 package main
 
 import (

@@ -1,19 +1,25 @@
 // Package api implements the HTTP control plane served by cmd/proteand:
 // a small REST interface for inspecting the model zoo and schemes,
-// running serving scenarios on the simulated cluster, and regenerating
-// paper experiments remotely.
+// running serving scenarios on the simulated cluster, regenerating
+// paper experiments remotely, downloading per-simulation traces, and
+// exposing Prometheus metrics.
 package api
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"protean"
 	"protean/internal/experiments"
+	"protean/internal/metrics"
+	"protean/internal/obs"
 )
 
 // SimulateRequest is the POST /simulate body.
@@ -46,6 +52,9 @@ type SimulateRequest struct {
 	MeanRPS float64 `json:"meanRPS"`
 	// DurationSeconds is the trace length (default 60).
 	DurationSeconds float64 `json:"durationSeconds,omitempty"`
+	// Trace records the run's lifecycle events; the response carries a
+	// traceId downloadable from GET /traces/{id}.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // SimulateResponse is the POST /simulate result.
@@ -61,25 +70,125 @@ type SimulateResponse struct {
 	Reconfigurations  int                      `json:"reconfigurations"`
 	NormalizedCost    float64                  `json:"normalizedCost,omitempty"`
 	GeometryTimeline  []protean.GeometryChange `json:"geometryTimeline,omitempty"`
+	// Models is the per-model traffic snapshot (metrics.Recorder.Snapshot).
+	Models []metrics.ModelStats `json:"models,omitempty"`
+	// TraceID names the stored trace when the request set "trace": true;
+	// download it from GET /traces/{traceId} (Chrome trace-event JSON,
+	// or ?format=jsonl for the raw event log).
+	TraceID string `json:"traceId,omitempty"`
+	// TraceEvents is the recorded event count for a traced run.
+	TraceEvents int `json:"traceEvents,omitempty"`
 }
 
-// Handler returns the REST control plane.
-func Handler() http.Handler {
+// maxStoredTraces bounds the per-simulation trace store; the oldest
+// trace is evicted beyond it.
+const maxStoredTraces = 16
+
+// Server is the stateful control plane: the REST handlers plus a
+// Prometheus-style metrics registry and a bounded store of
+// per-simulation traces.
+type Server struct {
+	reg       *obs.Registry
+	httpReqs  *obs.CounterVec
+	modelReqs *obs.CounterVec
+	sims      *obs.Counter
+	simP99    *obs.Histogram
+	lastSLO   *obs.Gauge
+
+	mu      sync.Mutex
+	traces  map[string]obs.Trace
+	order   []string
+	nextTID int
+}
+
+// NewServer returns a control plane with fresh metrics and trace state.
+func NewServer() *Server {
+	reg := obs.NewRegistry()
+	return &Server{
+		reg: reg,
+		httpReqs: reg.CounterVec("proteand_http_requests_total",
+			"HTTP requests served, by handler and status code.", "handler", "code"),
+		modelReqs: reg.CounterVec("proteand_model_requests_total",
+			"Simulated requests served per model across /simulate runs.", "model"),
+		sims: reg.Counter("proteand_simulations_total",
+			"Simulations completed via POST /simulate."),
+		simP99: reg.Histogram("proteand_sim_strict_p99_seconds",
+			"Strict P99 latency of completed simulations.",
+			[]float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}),
+		lastSLO: reg.Gauge("proteand_sim_slo_compliance",
+			"SLO compliance of the most recent simulation."),
+		traces: make(map[string]obs.Trace),
+	}
+}
+
+// Handler returns the REST control plane backed by this server's state.
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", handleHealthz)
-	mux.HandleFunc("GET /models", handleModels)
-	mux.HandleFunc("GET /schemes", handleSchemes)
-	mux.HandleFunc("GET /experiments", handleExperimentList)
-	mux.HandleFunc("POST /experiments/{id}", handleExperimentRun)
-	mux.HandleFunc("POST /simulate", handleSimulate)
+	handle := func(pattern, name string, fn http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(name, fn))
+	}
+	handle("GET /healthz", "healthz", handleHealthz)
+	handle("GET /models", "models", handleModels)
+	handle("GET /schemes", "schemes", handleSchemes)
+	handle("GET /experiments", "experiments", handleExperimentList)
+	handle("POST /experiments/{id}", "experiment-run", handleExperimentRun)
+	handle("POST /simulate", "simulate", s.handleSimulate)
+	handle("GET /metrics", "metrics", s.handleMetrics)
+	handle("GET /traces/{id}", "traces", s.handleTrace)
 	return mux
 }
 
+// Handler returns a control plane with a fresh Server — the one-call
+// construction used by tests and simple embeddings.
+func Handler() http.Handler { return NewServer().Handler() }
+
+// statusWriter captures the response status for request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument counts every request by handler name and status code.
+func (s *Server) instrument(name string, next http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		next(sw, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.httpReqs.With(name, strconv.Itoa(code)).Inc()
+	})
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Marshal before touching the ResponseWriter: an encode failure
+	// (e.g. a NaN that slipped into a float field) must surface as a 500
+	// with a JSON error body, not a 200 with an empty one.
+	data, err := json.Marshal(v)
+	if err != nil {
+		status = http.StatusInternalServerError
+		data = []byte(`{"error":` + strconv.Quote("encode response: "+err.Error()) + `}`)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers already sent; nothing else to do.
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		// Client went away; nothing else to do.
 		_ = err
 	}
 }
@@ -139,7 +248,59 @@ func handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func handleSimulate(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		// Headers already sent; nothing else to do.
+		_ = err
+	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	tr, ok := s.traces[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown trace %q (traces are evicted after %d newer runs)", id, maxStoredTraces))
+		return
+	}
+	var err error
+	switch r.URL.Query().Get("format") {
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".json"))
+		err = obs.WriteChrome(w, []obs.Trace{tr})
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/jsonl")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".jsonl"))
+		err = obs.WriteJSONL(w, []obs.Trace{tr})
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (chrome, jsonl)", r.URL.Query().Get("format")))
+		return
+	}
+	if err != nil {
+		// Body partially sent; nothing else to do.
+		_ = err
+	}
+}
+
+// storeTrace files a completed run's trace and returns its id.
+func (s *Server) storeTrace(tr obs.Trace) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextTID++
+	id := "t" + strconv.Itoa(s.nextTID)
+	s.traces[id] = tr
+	s.order = append(s.order, id)
+	if len(s.order) > maxStoredTraces {
+		delete(s.traces, s.order[0])
+		s.order = s.order[1:]
+	}
+	return id
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req SimulateRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -147,7 +308,7 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
-	resp, err := simulate(req)
+	resp, err := s.simulate(req)
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, errInternal) {
@@ -161,8 +322,9 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 var errInternal = errors.New("internal")
 
-// simulate runs one scenario via the public API.
-func simulate(req SimulateRequest) (*SimulateResponse, error) {
+// simulate runs one scenario via the public API and folds the outcome
+// into the server's metrics registry.
+func (s *Server) simulate(req SimulateRequest) (*SimulateResponse, error) {
 	opts := []protean.Option{}
 	if req.Nodes > 0 {
 		opts = append(opts, protean.WithNodes(req.Nodes))
@@ -184,6 +346,15 @@ func simulate(req SimulateRequest) (*SimulateResponse, error) {
 	if req.WarmupSeconds > 0 {
 		opts = append(opts, protean.WithWarmup(time.Duration(req.WarmupSeconds*float64(time.Second))))
 	}
+	var col *obs.Collector
+	if req.Trace {
+		scheme := req.Scheme
+		if scheme == "" {
+			scheme = string(protean.SchemePROTEAN)
+		}
+		col = obs.NewCollector(fmt.Sprintf("%s %s seed=%d", scheme, req.StrictModel, req.Seed))
+		opts = append(opts, protean.WithTracer(col))
+	}
 	pf, err := protean.New(opts...)
 	if err != nil {
 		return nil, err
@@ -199,7 +370,7 @@ func simulate(req SimulateRequest) (*SimulateResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &SimulateResponse{
+	out := &SimulateResponse{
 		SLOCompliance:     res.SLOCompliance,
 		StrictP50Millis:   float64(res.StrictP50) / float64(time.Millisecond),
 		StrictP99Millis:   float64(res.StrictP99) / float64(time.Millisecond),
@@ -211,5 +382,23 @@ func simulate(req SimulateRequest) (*SimulateResponse, error) {
 		Reconfigurations:  res.Reconfigurations,
 		NormalizedCost:    res.NormalizedCost,
 		GeometryTimeline:  res.GeometryTimeline,
-	}, nil
+		Models:            res.Models,
+	}
+	s.sims.Inc()
+	// A run whose warmup swallowed every sample reports NaN percentiles;
+	// keep those out of the registry so /metrics stays parseable.
+	if !math.IsNaN(res.SLOCompliance) {
+		s.lastSLO.Set(res.SLOCompliance)
+	}
+	if sec := res.StrictP99.Seconds(); !math.IsNaN(sec) {
+		s.simP99.Observe(sec)
+	}
+	for _, m := range res.Models {
+		s.modelReqs.With(m.Model).Add(float64(m.Requests))
+	}
+	if col != nil {
+		out.TraceID = s.storeTrace(col.Trace())
+		out.TraceEvents = col.Len()
+	}
+	return out, nil
 }

@@ -2,10 +2,14 @@ package api
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
+
+	"protean/internal/obs"
 )
 
 func newServer(t *testing.T) *httptest.Server {
@@ -125,6 +129,195 @@ func TestSimulateEndpoint(t *testing.T) {
 	}
 	if out.Requests == 0 || out.SLOCompliance <= 0 {
 		t.Errorf("response = %+v", out)
+	}
+}
+
+func TestSimulateModelsSnapshot(t *testing.T) {
+	srv := newServer(t)
+	body := `{
+		"nodes": 2,
+		"strictModel": "ResNet 50",
+		"beModels": ["VGG 19"],
+		"meanRPS": 500,
+		"durationSeconds": 10
+	}`
+	resp, err := http.Post(srv.URL+"/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	var out SimulateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out.Models) == 0 {
+		t.Fatal("response has no per-model snapshot")
+	}
+	total := 0
+	seen := map[string]bool{}
+	for _, m := range out.Models {
+		total += m.Requests
+		seen[m.Model] = true
+	}
+	if total != out.Requests {
+		t.Errorf("snapshot requests = %d, response total = %d", total, out.Requests)
+	}
+	if !seen["ResNet 50"] || !seen["VGG 19"] {
+		t.Errorf("snapshot models = %v, want both workloads", out.Models)
+	}
+	if out.TraceID != "" {
+		t.Errorf("untraced run returned traceId %q", out.TraceID)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := newServer(t)
+	// Drive some traffic so counters exist, then scrape.
+	var health map[string]string
+	getJSON(t, srv.URL+"/healthz", &health)
+	body := `{"nodes": 2, "strictModel": "ResNet 50", "meanRPS": 400, "durationSeconds": 10}`
+	resp, err := http.Post(srv.URL+"/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`proteand_http_requests_total{handler="healthz",code="200"} 1`,
+		`proteand_simulations_total 1`,
+		`proteand_model_requests_total{model="ResNet 50"}`,
+		"# TYPE proteand_sim_strict_p99_seconds histogram",
+		`proteand_sim_strict_p99_seconds_bucket{le="+Inf"} 1`,
+		"proteand_sim_slo_compliance",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q\n%s", want, text)
+		}
+	}
+	// Every non-comment line must be "name{labels} value" with a
+	// parseable float value — the exposition-format contract.
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Errorf("line %q: bad value: %v", line, err)
+		}
+	}
+}
+
+func TestSimulateTraceRoundtrip(t *testing.T) {
+	srv := newServer(t)
+	body := `{"nodes": 2, "strictModel": "ResNet 50", "meanRPS": 400, "durationSeconds": 10, "seed": 7, "trace": true}`
+	resp, err := http.Post(srv.URL+"/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	var out SimulateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.TraceID == "" || out.TraceEvents == 0 {
+		t.Fatalf("traced run returned traceId=%q events=%d", out.TraceID, out.TraceEvents)
+	}
+
+	chrome, err := http.Get(srv.URL + "/traces/" + out.TraceID)
+	if err != nil {
+		t.Fatalf("GET trace: %v", err)
+	}
+	defer chrome.Body.Close()
+	if chrome.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d", chrome.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(chrome.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+
+	jl, err := http.Get(srv.URL + "/traces/" + out.TraceID + "?format=jsonl")
+	if err != nil {
+		t.Fatalf("GET jsonl: %v", err)
+	}
+	defer jl.Body.Close()
+	raw, err := io.ReadAll(jl.Body)
+	if err != nil {
+		t.Fatalf("read jsonl: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) != out.TraceEvents+1 { // header line + one per event
+		t.Errorf("jsonl lines = %d, want %d", len(lines), out.TraceEvents+1)
+	}
+	for _, line := range lines {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Fatalf("jsonl line %q: %v", line, err)
+		}
+	}
+
+	if resp, err := http.Get(srv.URL + "/traces/nope"); err != nil {
+		t.Fatalf("GET unknown: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown trace status = %d, want 404", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(srv.URL + "/traces/" + out.TraceID + "?format=xml"); err != nil {
+		t.Fatalf("GET bad format: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad format status = %d, want 400", resp.StatusCode)
+		}
+	}
+}
+
+func TestTraceStoreEviction(t *testing.T) {
+	s := NewServer()
+	var first, last string
+	for i := 0; i < maxStoredTraces+3; i++ {
+		id := s.storeTrace(obs.Trace{Label: "x"})
+		if i == 0 {
+			first = id
+		}
+		last = id
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.traces[first]; ok {
+		t.Errorf("oldest trace %q not evicted", first)
+	}
+	if _, ok := s.traces[last]; !ok {
+		t.Errorf("newest trace %q missing", last)
+	}
+	if len(s.traces) != maxStoredTraces {
+		t.Errorf("stored traces = %d, want %d", len(s.traces), maxStoredTraces)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"protean/internal/obs"
 	"protean/internal/sim"
 )
 
@@ -45,6 +46,10 @@ type pool struct {
 
 // Scaler manages per-model container pools for one worker node.
 type Scaler struct {
+	// Node labels the scaler's worker in traced autoscale events (set by
+	// the cluster; standalone scalers report node 0).
+	Node int
+
 	cfg Config
 	sim *sim.Sim
 
@@ -74,7 +79,7 @@ func (s *Scaler) Acquire(modelName string) (float64, error) {
 		p = &pool{}
 		s.pools[modelName] = p
 	}
-	s.expire(p)
+	s.expire(modelName, p)
 	if n := len(p.idleSince); n > 0 {
 		// Reuse the most recently idled container (LIFO) so the oldest
 		// ones age out.
@@ -105,7 +110,7 @@ func (s *Scaler) Release(modelName string) error {
 
 // expire reclaims idle containers past the keep-alive window (delayed
 // termination).
-func (s *Scaler) expire(p *pool) {
+func (s *Scaler) expire(modelName string, p *pool) {
 	cutoff := s.sim.Now() - s.cfg.KeepAlive
 	drop := 0
 	for drop < len(p.idleSince) && p.idleSince[drop] <= cutoff {
@@ -114,7 +119,22 @@ func (s *Scaler) expire(p *pool) {
 	if drop > 0 {
 		p.idleSince = p.idleSince[drop:]
 		s.spawned -= drop
+		s.emit("expire", modelName, drop)
 	}
+}
+
+// emit traces one autoscale decision when tracing is enabled.
+func (s *Scaler) emit(verb, modelName string, containers int) {
+	tr := s.sim.Tracer()
+	if !tr.Enabled() {
+		return
+	}
+	ev := obs.At(s.sim.Now(), obs.KindAutoscale)
+	ev.Node = s.Node
+	ev.Model = modelName
+	ev.Detail = verb
+	ev.Value = float64(containers)
+	tr.Emit(ev)
 }
 
 // Sweep expires idle containers across all pools (called on monitor
@@ -126,7 +146,7 @@ func (s *Scaler) Sweep() {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		s.expire(s.pools[name])
+		s.expire(name, s.pools[name])
 	}
 }
 
@@ -145,6 +165,7 @@ func (s *Scaler) Prewarm(modelName string, n int) {
 		p.idleSince = append(p.idleSince, s.sim.Now())
 		s.spawned++
 	}
+	s.emit("prewarm", modelName, n)
 }
 
 // ColdStarts returns the number of cold starts incurred so far.
@@ -156,7 +177,7 @@ func (s *Scaler) Warm(modelName string) int {
 	if p == nil {
 		return 0
 	}
-	s.expire(p)
+	s.expire(modelName, p)
 	return p.busy + len(p.idleSince)
 }
 

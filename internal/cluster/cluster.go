@@ -16,6 +16,7 @@ import (
 	"protean/internal/gpu"
 	"protean/internal/metrics"
 	"protean/internal/model"
+	"protean/internal/obs"
 	"protean/internal/queue"
 	"protean/internal/reconfig"
 	"protean/internal/sim"
@@ -182,6 +183,7 @@ func New(s *sim.Sim, cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		scaler.Node = i
 		n := &node{id: i, cluster: c, gpu: g, policy: pol, scaler: scaler, up: true}
 		for _, m := range cfg.PreWarm {
 			count := cfg.PreWarmCount
@@ -480,18 +482,47 @@ func (n *node) accept(b *queue.Batch) {
 		n.beBatchesWindow++
 		n.lastBEModel = b.Model
 	}
+	if tr := n.cluster.sim.Tracer(); tr.Enabled() {
+		ev := obs.At(n.cluster.sim.Now(), obs.KindDispatch)
+		ev.Node = n.id
+		ev.Batch = b.ID
+		ev.Model = b.Model.Name()
+		ev.Strict = b.Strict
+		ev.Requests = b.Size()
+		tr.Emit(ev)
+	}
 	cold, err := n.scaler.Acquire(b.Model.Name())
 	if err != nil {
 		// Defensive: Acquire only fails on empty names.
 		n.outstanding--
-		n.cluster.dropped += b.Size()
+		n.cluster.drop(n.id, b.ID, b.Size())
 		return
 	}
 	if cold > 0 {
+		if tr := n.cluster.sim.Tracer(); tr.Enabled() {
+			ev := obs.At(n.cluster.sim.Now(), obs.KindColdStart)
+			ev.Node = n.id
+			ev.Batch = b.ID
+			ev.Model = b.Model.Name()
+			ev.Value = cold
+			tr.Emit(ev)
+		}
 		n.cluster.sim.MustAfter(cold, func() { n.ready(b, cold) })
 		return
 	}
 	n.ready(b, 0)
+}
+
+// drop abandons work, counting its requests and tracing the loss.
+func (c *Cluster) drop(nodeID int, batchID uint64, requests int) {
+	c.dropped += requests
+	if tr := c.sim.Tracer(); tr.Enabled() {
+		ev := obs.At(c.sim.Now(), obs.KindDrop)
+		ev.Node = nodeID
+		ev.Batch = batchID
+		ev.Requests = requests
+		tr.Emit(ev)
+	}
 }
 
 // ready places a batch whose container is warm.
@@ -519,6 +550,7 @@ func (n *node) place(b *queue.Batch, cold float64) error {
 		Jitter:    n.cluster.serviceJitter(),
 		Enqueued:  n.cluster.sim.Now(),
 		ColdStart: cold,
+		TraceID:   b.ID,
 	}
 	job.OnDone = func(j *gpu.Job) { n.complete(b, j) }
 	if err := sl.Submit(job); err != nil {
@@ -635,7 +667,7 @@ func (n *node) resubmit(j *gpu.Job) {
 		}
 	}
 	if err := sl.Submit(j); err != nil {
-		n.cluster.dropped += j.Requests
+		n.cluster.drop(n.id, j.TraceID, j.Requests)
 	}
 }
 

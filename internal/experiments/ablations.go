@@ -45,8 +45,9 @@ const (
 	ablationShifting
 )
 
-// ablationScenario runs one design-choice workload.
-func ablationScenario(p Params, kind ablationKind, factory core.Factory, scaler autoscale.Config) (*cluster.Result, error) {
+// ablationScenario runs one design-choice workload; label names its
+// trace when the run is traced.
+func ablationScenario(p Params, label string, kind ablationKind, factory core.Factory, scaler autoscale.Config) (*cluster.Result, error) {
 	p = p.withDefaults()
 	strict := model.MustByName("VGG 19")
 	pool := model.OppositeClassPool(strict)
@@ -70,6 +71,9 @@ func ablationScenario(p Params, kind ablationKind, factory core.Factory, scaler 
 		return nil, err
 	}
 	s := sim.New(p.Seed)
+	if tr := p.tracer(label); tr != nil {
+		s.SetTracer(tr)
+	}
 	c, err := cluster.New(s, cluster.Config{
 		Nodes:        p.Nodes,
 		Policy:       factory,
@@ -86,11 +90,11 @@ func ablationScenario(p Params, kind ablationKind, factory core.Factory, scaler 
 
 // runAblation executes the with/without pair.
 func runAblation(p Params, kind ablationKind, name string, with, without core.Factory, scalerWith, scalerWithout autoscale.Config) (AblationResult, error) {
-	resWith, err := ablationScenario(p, kind, with, scalerWith)
+	resWith, err := ablationScenario(p, "ablation "+name+" with", kind, with, scalerWith)
 	if err != nil {
 		return AblationResult{}, fmt.Errorf("ablation %s (with): %w", name, err)
 	}
-	resWithout, err := ablationScenario(p, kind, without, scalerWithout)
+	resWithout, err := ablationScenario(p, "ablation "+name+" without", kind, without, scalerWithout)
 	if err != nil {
 		return AblationResult{}, fmt.Errorf("ablation %s (without): %w", name, err)
 	}

@@ -23,6 +23,7 @@ import (
 	"protean/internal/core"
 	"protean/internal/gpu"
 	"protean/internal/model"
+	"protean/internal/obs"
 	"protean/internal/sim"
 	"protean/internal/trace"
 	"protean/internal/vm"
@@ -68,6 +69,20 @@ type Params struct {
 	// Results are merged by scenario index, so reports are byte-identical
 	// at every setting.
 	Parallel int
+	// Trace, when non-nil, collects lifecycle events from every
+	// scenario run. Collectors are registered in scenario order before
+	// any run starts, so the merged trace is byte-identical at every
+	// Parallel setting.
+	Trace *obs.TraceSet
+}
+
+// tracer registers a collector for a one-off (non-batch) scenario run;
+// nil when tracing is off.
+func (p Params) tracer(label string) obs.Tracer {
+	if p.Trace == nil {
+		return nil
+	}
+	return p.Trace.NewCollector(label)
 }
 
 func (p Params) withDefaults() Params {
@@ -159,8 +174,9 @@ type Scenario struct {
 	Arch *gpu.Arch
 }
 
-// runScenario generates the trace and executes one cluster run.
-func runScenario(p Params, sc Scenario) (*cluster.Result, error) {
+// runScenario generates the trace and executes one cluster run. tr, when
+// non-nil, receives the run's lifecycle events.
+func runScenario(p Params, sc Scenario, tr obs.Tracer) (*cluster.Result, error) {
 	p = p.withDefaults()
 	if sc.Policy == nil {
 		return nil, errors.New("experiments: scenario without policy")
@@ -207,6 +223,9 @@ func runScenario(p Params, sc Scenario) (*cluster.Result, error) {
 		vmCfg = &clone
 	}
 	s := sim.New(p.Seed)
+	if tr != nil {
+		s.SetTracer(tr)
+	}
 	c, err := cluster.New(s, cluster.Config{
 		Nodes:         p.Nodes,
 		Policy:        sc.Policy,

@@ -110,10 +110,10 @@ func TestFig13QuickShape(t *testing.T) {
 
 func TestRunScenarioValidation(t *testing.T) {
 	p := quickParams()
-	if _, err := runScenario(p, Scenario{}); err == nil {
+	if _, err := runScenario(p, Scenario{}, nil); err == nil {
 		t.Error("scenario without policy accepted")
 	}
-	if _, err := runScenario(p, Scenario{Policy: core.NewMoleculeBeta(), StrictFrac: 0.5}); err == nil {
+	if _, err := runScenario(p, Scenario{Policy: core.NewMoleculeBeta(), StrictFrac: 0.5}, nil); err == nil {
 		t.Error("scenario without strict model accepted")
 	}
 }
@@ -123,7 +123,7 @@ func TestRunScenarioDefaultsPoolAndRate(t *testing.T) {
 	res, err := runScenario(p, Scenario{
 		Strict: model.MustByName("ShuffleNet V2"),
 		Policy: core.NewProtean(core.ProteanConfig{}),
-	})
+	}, nil)
 	if err != nil {
 		t.Fatalf("runScenario: %v", err)
 	}

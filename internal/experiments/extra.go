@@ -29,8 +29,11 @@ func ColdStarts(p Params) (*Report, error) {
 		return nil, err
 	}
 
-	runWith := func(scaler autoscale.Config) (*cluster.Result, error) {
+	runWith := func(label string, scaler autoscale.Config) (*cluster.Result, error) {
 		s := sim.New(p.Seed)
+		if tr := p.tracer(label); tr != nil {
+			s.SetTracer(tr)
+		}
 		// No pre-warming: the point is to observe the scaling policies.
 		c, err := cluster.New(s, cluster.Config{
 			Nodes:  p.Nodes,
@@ -44,11 +47,11 @@ func ColdStarts(p Params) (*Report, error) {
 		return c.Run(reqs, p.Duration)
 	}
 
-	delayed, err := runWith(autoscale.Config{})
+	delayed, err := runWith("coldstarts delayed", autoscale.Config{})
 	if err != nil {
 		return nil, fmt.Errorf("coldstarts (delayed): %w", err)
 	}
-	immediate, err := runWith(autoscale.Config{Immediate: true})
+	immediate, err := runWith("coldstarts immediate", autoscale.Config{Immediate: true})
 	if err != nil {
 		return nil, fmt.Errorf("coldstarts (immediate): %w", err)
 	}

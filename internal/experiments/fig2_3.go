@@ -79,6 +79,9 @@ func Fig2Motivation(p Params) (*Report, error) {
 		}
 		for _, sch := range fig2Schemes() {
 			s := sim.New(p.Seed)
+			if tr := p.tracer(fmt.Sprintf("fig2 %s/%s", w.Name(), sch.Name)); tr != nil {
+				s.SetTracer(tr)
+			}
 			c, err := cluster.New(s, cluster.Config{
 				Nodes:        1,
 				Policy:       sch.Factory,

@@ -112,7 +112,7 @@ func Fig7ReconfigTimeline(p Params) (*Report, error) {
 		RotatePeriod: 15,
 		Rate:         wikiRate(p.Duration),
 		Policy:       core.NewProtean(core.ProteanConfig{}),
-	})
+	}, p.tracer("fig7 timeline"))
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 
 	"protean/internal/cluster"
 	"protean/internal/metrics"
+	"protean/internal/obs"
 )
 
 // workers resolves Params.Parallel to a worker count: 0 means one
@@ -36,13 +37,22 @@ func RunScenarios(p Params, scs []Scenario) ([]*cluster.Result, error) {
 	p = p.withDefaults()
 	results := make([]*cluster.Result, len(scs))
 	errs := make([]error, len(scs))
+	// Register trace collectors sequentially, by scenario index, before
+	// any run starts: each run then writes its own collector, and the
+	// merged trace order never depends on worker scheduling.
+	tracers := make([]obs.Tracer, len(scs))
+	if p.Trace != nil {
+		for i, sc := range scs {
+			tracers[i] = p.Trace.NewCollector(sc.Label)
+		}
+	}
 	workers := p.workers()
 	if workers > len(scs) {
 		workers = len(scs)
 	}
 	if workers <= 1 {
 		for i, sc := range scs {
-			results[i], errs[i] = runScenario(p, sc)
+			results[i], errs[i] = runScenario(p, sc, tracers[i])
 		}
 	} else {
 		idx := make(chan int)
@@ -52,7 +62,7 @@ func RunScenarios(p Params, scs []Scenario) ([]*cluster.Result, error) {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					results[i], errs[i] = runScenario(p, scs[i])
+					results[i], errs[i] = runScenario(p, scs[i], tracers[i])
 				}
 			}()
 		}

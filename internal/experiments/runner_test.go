@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"strings"
 	"testing"
 
 	"protean/internal/model"
+	"protean/internal/obs"
 )
 
 func TestWorkersResolution(t *testing.T) {
@@ -62,6 +64,84 @@ func TestRunScenariosParallelMatchesSequential(t *testing.T) {
 		if string(a) != string(b) {
 			t.Errorf("scenario %d diverged:\n seq: %s\n par: %s", i, a, b)
 		}
+	}
+}
+
+// TestRunScenariosTraceByteIdentical is the trace half of the parallel
+// determinism contract: with a TraceSet attached, the merged Chrome and
+// JSONL exports must be byte-identical whether the scenarios ran
+// sequentially or across a worker pool.
+func TestRunScenariosTraceByteIdentical(t *testing.T) {
+	schemes := PrimarySchemes()
+	mk := func() []Scenario {
+		var scs []Scenario
+		for _, sch := range schemes {
+			scs = append(scs, Scenario{
+				Label:  "ResNet 50/" + sch.Name,
+				Strict: model.MustByName("ResNet 50"),
+				Policy: sch.Factory,
+			})
+		}
+		return scs
+	}
+	export := func(parallel int) (chrome, jsonl []byte) {
+		t.Helper()
+		p := quickParams()
+		p.Parallel = parallel
+		p.Trace = obs.NewTraceSet()
+		if _, err := RunScenarios(p, mk()); err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		if p.Trace.Events() == 0 {
+			t.Fatalf("parallel=%d: no events collected", parallel)
+		}
+		var cb, jb bytes.Buffer
+		if err := obs.WriteChrome(&cb, p.Trace.Traces()); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteJSONL(&jb, p.Trace.Traces()); err != nil {
+			t.Fatal(err)
+		}
+		return cb.Bytes(), jb.Bytes()
+	}
+	seqChrome, seqJSONL := export(1)
+	parChrome, parJSONL := export(6)
+	if !bytes.Equal(seqChrome, parChrome) {
+		t.Error("chrome trace differs between sequential and parallel runs")
+	}
+	if !bytes.Equal(seqJSONL, parJSONL) {
+		t.Error("jsonl trace differs between sequential and parallel runs")
+	}
+}
+
+// TestTracingDoesNotChangeResults: attaching a collector must be a pure
+// observation — simulation outcomes stay identical with and without it.
+func TestTracingDoesNotChangeResults(t *testing.T) {
+	sc := func() Scenario {
+		return Scenario{
+			Strict: model.MustByName("ResNet 50"),
+			Policy: PrimarySchemes()[0].Factory,
+		}
+	}
+	p := quickParams()
+	plain, err := runScenario(p, sc(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := runScenario(p, sc(), obs.NewCollector("traced"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(plain.Recorder.Summarize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(traced.Recorder.Summarize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("tracing changed the result:\n plain:  %s\n traced: %s", a, b)
 	}
 }
 

@@ -232,6 +232,9 @@ func Table3SpotPricing(p Params) (*Report, error) {
 	}
 	for _, pr := range vm.Providers() {
 		s := sim.New(p.Seed)
+		if tr := p.tracer("table3 " + pr.Provider); tr != nil {
+			s.SetTracer(tr)
+		}
 		fleet, err := vm.NewFleet(s, vm.Config{
 			Nodes:        p.Nodes,
 			Mode:         vm.ModeSpotPreferred,

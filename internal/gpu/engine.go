@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"protean/internal/obs"
 	"protean/internal/sim"
 )
 
@@ -107,6 +108,9 @@ type Job struct {
 	ColdStart float64
 	// OnDone, if set, is invoked when the batch completes.
 	OnDone func(*Job)
+	// TraceID correlates the job's lifecycle events with the batch that
+	// produced it (queue.Batch.ID); 0 means untraced.
+	TraceID uint64
 
 	slice       *Slice
 	started     float64
@@ -351,6 +355,7 @@ func (sl *Slice) Submit(j *Job) error {
 		j.Enqueued = sl.sim.Now()
 	}
 	j.slice = sl
+	sl.emitJob(obs.KindAdmit, j)
 	if sl.gpu.ReorderPending && j.Strict {
 		// Insert after the last pending strict job, ahead of BE jobs.
 		pos := 0
@@ -421,7 +426,34 @@ func (sl *Slice) start(j *Job) {
 	j.remaining = j.W.SoloTime(j.effProfile(sl.Prof)) * j.scale() * j.jitter()
 	sl.usedMem += j.W.MemGB(sl.Prof)
 	sl.running = append(sl.running, j)
+	sl.emitJob(obs.KindExecStart, j)
 	sl.rebalance(now)
+}
+
+// emitJob emits a job-scoped lifecycle event when tracing is enabled.
+func (sl *Slice) emitJob(k obs.Kind, j *Job) {
+	tr := sl.sim.Tracer()
+	if !tr.Enabled() {
+		return
+	}
+	ev := obs.At(sl.sim.Now(), k)
+	ev.Node = sl.gpu.ID
+	ev.Slice = sl.index
+	ev.Batch = j.TraceID
+	ev.Model = j.W.Name()
+	ev.Strict = j.Strict
+	ev.Requests = j.Requests
+	if k == obs.KindExecEnd {
+		bd := j.Breakdown()
+		ev.Phases = &obs.Phases{
+			Queue:        bd.Queue,
+			ColdStart:    bd.ColdStart,
+			MinPossible:  bd.MinPossible,
+			Deficiency:   bd.Deficiency,
+			Interference: bd.Interference,
+		}
+	}
+	tr.Emit(ev)
 }
 
 // rebalance advances every running job's progress to now and reschedules
@@ -441,6 +473,13 @@ func (sl *Slice) rebalance(now float64) {
 		j := j
 		j.timer = sl.sim.MustAfter(j.remaining*j.slow, func() { sl.complete(j) })
 	}
+	if tr := sl.sim.Tracer(); tr.Enabled() {
+		ev := obs.At(now, obs.KindSlowdown)
+		ev.Node = sl.gpu.ID
+		ev.Slice = sl.index
+		ev.Value = sl.Slowdown()
+		tr.Emit(ev)
+	}
 }
 
 func (sl *Slice) complete(j *Job) {
@@ -451,6 +490,7 @@ func (sl *Slice) complete(j *Job) {
 	j.done = true
 	j.finished = now
 	j.timer = nil
+	sl.emitJob(obs.KindExecEnd, j)
 	for i, r := range sl.running {
 		if r == j {
 			sl.running = append(sl.running[:i], sl.running[i+1:]...)
@@ -666,6 +706,12 @@ func (g *GPU) Reconfigure(geom Geometry, onReady func(displaced []*Job)) error {
 	g.pendingGeom = geom.Clone()
 	g.onReady = onReady
 	g.displaced = nil
+	if tr := g.sim.Tracer(); tr.Enabled() {
+		ev := obs.At(g.sim.Now(), obs.KindReconfigBegin)
+		ev.Node = g.ID
+		ev.Detail = geom.String()
+		tr.Emit(ev)
+	}
 	for _, sl := range g.slices {
 		g.displaced = append(g.displaced, sl.drain()...)
 	}
@@ -709,6 +755,12 @@ func (g *GPU) finishReconfig() {
 	g.installGeometry(g.pendingGeom)
 	g.reconfiguring = false
 	g.reconfigCount++
+	if tr := g.sim.Tracer(); tr.Enabled() {
+		ev := obs.At(g.sim.Now(), obs.KindReconfigEnd)
+		ev.Node = g.ID
+		ev.Detail = g.geometry.String()
+		tr.Emit(ev)
+	}
 	displaced := g.displaced
 	g.displaced = nil
 	onReady := g.onReady
@@ -743,3 +795,7 @@ func (g *GPU) Utilization() (compute, mem float64) {
 
 // DowntimeTotal is the cumulative reconfiguration downtime in seconds.
 func (g *GPU) DowntimeTotal() float64 { return g.downtimeTotal }
+
+// Tracer returns the simulation's tracer, for callers (like the core
+// placement policies) that hold a GPU but not the sim.
+func (g *GPU) Tracer() obs.Tracer { return g.sim.Tracer() }

@@ -264,5 +264,58 @@ func (s Summary) String() string {
 		s.SLOCompliance*100, s.P50*1000, s.P99*1000, s.Requests)
 }
 
+// ModelStats is one model's row in a Snapshot.
+type ModelStats struct {
+	// Model is the model name.
+	Model string `json:"model"`
+	// Requests is the weighted request count across both classes.
+	Requests int `json:"requests"`
+	// StrictRequests is the weighted strict-class request count.
+	StrictRequests int `json:"strictRequests"`
+	// P50 and P99 are weighted latency percentiles over all the model's
+	// samples, in seconds.
+	P50 float64 `json:"p50Seconds"`
+	P99 float64 `json:"p99Seconds"`
+	// SLOCompliance is the weighted fraction of strict requests meeting
+	// their SLO; 0 when StrictRequests is 0 (kept finite so snapshots
+	// survive JSON encoding — check StrictRequests to distinguish "none
+	// measured" from "all missed").
+	SLOCompliance float64 `json:"sloCompliance"`
+}
+
+// Snapshot summarizes the recorder per model, sorted by model name, for
+// export surfaces (proteand's /metrics and simulate responses). Unlike
+// Summarize, percentiles span both request classes — a snapshot is an
+// operational view of everything served, not the paper's strict-only
+// headline.
+func (r *Recorder) Snapshot() []ModelStats {
+	names := make(map[string]bool)
+	for _, s := range r.samples {
+		names[s.Model] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+	out := make([]ModelStats, 0, len(sorted))
+	for _, name := range sorted {
+		sub := r.ForModel(name)
+		strict := sub.Strict()
+		st := ModelStats{
+			Model:          name,
+			Requests:       sub.Requests(),
+			StrictRequests: strict.Requests(),
+			P50:            sub.Percentile(50),
+			P99:            sub.Percentile(99),
+		}
+		if st.StrictRequests > 0 {
+			st.SLOCompliance = sub.SLOCompliance()
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
 // ErrTooFewSamples reports statistics requested on degenerate inputs.
 var ErrTooFewSamples = errors.New("metrics: too few samples")

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSONL renders traces as a JSON Lines event log: one header line
+// per run (`{"run":label,"events":n}`) followed by one line per event,
+// in emission order. encoding/json field order follows the Event struct
+// declaration, so for a given seed the bytes written are identical run
+// to run.
+//
+// Unlike the Chrome exporter, the JSONL log keeps the full stream —
+// including per-request arrival events — and is meant for programmatic
+// triage (jq, regression diffing) rather than visualization.
+func WriteJSONL(w io.Writer, traces []Trace) error {
+	var buf bytes.Buffer
+	for _, tr := range traces {
+		fmt.Fprintf(&buf, `{"run":%s,"events":%d}`+"\n", mustJSON(tr.Label), len(tr.Events))
+		for _, ev := range tr.Events {
+			line, err := json.Marshal(ev)
+			if err != nil {
+				return fmt.Errorf("obs: marshal event: %w", err)
+			}
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// mustJSON marshals a plain string; it cannot fail.
+func mustJSON(s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

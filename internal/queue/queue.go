@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"protean/internal/model"
+	"protean/internal/obs"
 	"protean/internal/sim"
 	"protean/internal/trace"
 )
@@ -17,6 +18,9 @@ import (
 // Batch is a group of same-model, same-strictness requests served by one
 // container invocation.
 type Batch struct {
+	// ID is the batch's trace-correlation id, unique per Batcher and
+	// starting at 1 (0 means "untracked", e.g. hand-built test batches).
+	ID uint64
 	// Model is the inference model the batch invokes.
 	Model *model.Model
 	// Strict marks batches of strict-SLO requests.
@@ -58,6 +62,7 @@ type Batcher struct {
 	emit   func(*Batch)
 
 	pending map[batchKey]*partialBatch
+	nextID  uint64
 }
 
 type batchKey struct {
@@ -66,6 +71,7 @@ type batchKey struct {
 }
 
 type partialBatch struct {
+	id       uint64
 	model    *model.Model
 	strict   bool
 	requests []trace.Request
@@ -103,12 +109,21 @@ func (b *Batcher) Add(req trace.Request) error {
 	key := batchKey{model: req.Model.Name(), strict: req.Strict}
 	pb, ok := b.pending[key]
 	if !ok {
-		pb = &partialBatch{model: req.Model, strict: req.Strict}
+		b.nextID++
+		pb = &partialBatch{id: b.nextID, model: req.Model, strict: req.Strict}
 		b.pending[key] = pb
 		key := key
 		pb.timer = b.sim.MustAfter(b.window, func() { b.seal(key) })
 	}
 	pb.requests = append(pb.requests, req)
+	if tr := b.sim.Tracer(); tr.Enabled() {
+		ev := obs.At(b.sim.Now(), obs.KindArrival)
+		ev.Batch = pb.id
+		ev.Model = req.Model.Name()
+		ev.Strict = req.Strict
+		ev.Requests = 1
+		tr.Emit(ev)
+	}
 	if len(pb.requests) >= req.Model.BatchSize() {
 		b.seal(key)
 	}
@@ -150,12 +165,25 @@ func (b *Batcher) seal(key batchKey) {
 	}
 	delete(b.pending, key)
 	pb.timer.Cancel()
-	b.emit(&Batch{
+	batch := &Batch{
+		ID:       pb.id,
 		Model:    pb.model,
 		Strict:   pb.strict,
 		Requests: pb.requests,
 		Sealed:   b.sim.Now(),
-	})
+	}
+	if tr := b.sim.Tracer(); tr.Enabled() {
+		ev := obs.At(batch.Sealed, obs.KindBatchSeal)
+		ev.Batch = batch.ID
+		ev.Model = batch.Model.Name()
+		ev.Strict = batch.Strict
+		ev.Requests = batch.Size()
+		// Carry the oldest member's arrival so span assembly works on
+		// traces whose per-request arrival events were filtered out.
+		ev.Value = batch.FirstArrival()
+		tr.Emit(ev)
+	}
+	b.emit(batch)
 }
 
 // ReorderQueue is the dispatch queue of §4.1. With reordering enabled,

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"protean/internal/obs"
 )
 
 // ErrStopped is returned by Run variants when the simulation was halted
@@ -54,11 +56,29 @@ type Sim struct {
 	queue   timerHeap
 	rng     *rand.Rand
 	stopped bool
+	tracer  obs.Tracer
 }
 
 // New returns a simulator whose random source is seeded with seed.
 func New(seed int64) *Sim {
 	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetTracer installs the observability tracer every component driven by
+// this simulation emits lifecycle events to. A nil tracer restores the
+// no-op default. The tracer is a pure observer: it must not schedule
+// events, draw randomness, or otherwise influence the run.
+func (s *Sim) SetTracer(t obs.Tracer) { s.tracer = t }
+
+// Tracer returns the installed tracer, or the no-op tracer when none is
+// installed. Components hold a *Sim already, so this is how the tracer
+// threads through gpu, queue, cluster, vm and autoscale without each
+// layer growing a configuration knob.
+func (s *Sim) Tracer() obs.Tracer {
+	if s.tracer == nil {
+		return obs.Nop()
+	}
+	return s.tracer
 }
 
 // Now returns the current virtual time in seconds.

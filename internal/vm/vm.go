@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"protean/internal/obs"
 	"protean/internal/sim"
 )
 
@@ -285,6 +286,12 @@ func (f *Fleet) attach(node int, kind Kind) {
 	f.release(node)
 	f.leases[node] = &lease{kind: kind, acquired: f.sim.Now()}
 	f.states[node] = nodeUp
+	if tr := f.sim.Tracer(); tr.Enabled() {
+		ev := obs.At(f.sim.Now(), obs.KindVMLease)
+		ev.Node = node
+		ev.Detail = kind.String()
+		tr.Emit(ev)
+	}
 	if f.cfg.Listener != nil {
 		f.cfg.Listener.NodeUp(node, kind)
 	}
@@ -322,6 +329,12 @@ func (f *Fleet) checkRevocations() {
 		notice := f.cfg.NoticeMin + f.sim.Rand().Float64()*(f.cfg.NoticeMax-f.cfg.NoticeMin)
 		deadline := f.sim.Now() + notice
 		f.states[i] = nodeDraining
+		if tr := f.sim.Tracer(); tr.Enabled() {
+			ev := obs.At(f.sim.Now(), obs.KindVMNotice)
+			ev.Node = i
+			ev.Value = deadline
+			tr.Emit(ev)
+		}
 		if f.cfg.Listener != nil {
 			f.cfg.Listener.NodeDraining(i, deadline)
 		}
@@ -365,6 +378,11 @@ func (f *Fleet) evict(node, gen int, needRetry bool) {
 	}
 	f.release(node)
 	f.states[node] = nodeDown
+	if tr := f.sim.Tracer(); tr.Enabled() {
+		ev := obs.At(f.sim.Now(), obs.KindVMDown)
+		ev.Node = node
+		tr.Emit(ev)
+	}
 	if f.cfg.Listener != nil {
 		f.cfg.Listener.NodeDown(node)
 	}

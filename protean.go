@@ -27,7 +27,9 @@ import (
 	"protean/internal/core"
 	"protean/internal/experiments"
 	"protean/internal/gpu"
+	"protean/internal/metrics"
 	"protean/internal/model"
+	"protean/internal/obs"
 	"protean/internal/sim"
 	"protean/internal/trace"
 	"protean/internal/vm"
@@ -143,6 +145,9 @@ type Config struct {
 	// GPUArch selects the GPU generation ("a100" default, "h100" for
 	// the §7 generalizability study).
 	GPUArch string
+	// Tracer receives lifecycle events from the run (nil disables
+	// tracing; see internal/obs).
+	Tracer obs.Tracer
 }
 
 // Option mutates the configuration.
@@ -174,6 +179,12 @@ func WithWarmup(d time.Duration) Option { return func(c *Config) { c.Warmup = d 
 // WithGPUArch selects the GPU generation: "a100" (the paper's testbed)
 // or "h100" (the §7 generalizability claim).
 func WithGPUArch(arch string) Option { return func(c *Config) { c.GPUArch = arch } }
+
+// WithTracer attaches an observability tracer (e.g. *obs.Collector) to
+// every run; events carry virtual-time stamps, so traces of a seeded
+// run are deterministic. The tracer is a pure observer — attaching one
+// changes no scheduling decision or metric.
+func WithTracer(t obs.Tracer) Option { return func(c *Config) { c.Tracer = t } }
 
 // Platform is a configured serverless platform ready to serve workloads.
 type Platform struct {
@@ -261,6 +272,8 @@ type Result struct {
 	NormalizedCost float64
 	// GeometryTimeline records MIG geometry installations.
 	GeometryTimeline []GeometryChange
+	// Models summarizes served traffic per model (sorted by name).
+	Models []metrics.ModelStats
 }
 
 // GeometryChange is one MIG geometry installation.
@@ -359,6 +372,9 @@ func (p *Platform) Run(w Workload) (*Result, error) {
 		return nil, err
 	}
 	s := sim.New(p.cfg.Seed)
+	if p.cfg.Tracer != nil {
+		s.SetTracer(p.cfg.Tracer)
+	}
 	c, err := cluster.New(s, cluster.Config{
 		Nodes:         p.cfg.Nodes,
 		Policy:        factory,
@@ -391,6 +407,7 @@ func (p *Platform) Run(w Workload) (*Result, error) {
 		MemoryUtilization: res.MemUtil,
 		ColdStarts:        res.ColdStarts,
 		Reconfigurations:  res.Reconfigs,
+		Models:            rec.Snapshot(),
 	}
 	if res.Cost != nil {
 		out.NormalizedCost = res.Cost.Normalized
