@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench-quick trace-demo ci
+.PHONY: all build vet lint test race bench bench-quick trace-demo ci
 
 all: build
 
@@ -22,6 +22,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Run the hot-path benchmarks and regenerate BENCH_PR4.json, joining the
+# fresh numbers against the recorded pre-optimization run in
+# bench/baseline.txt (speedup = baseline ns/op ÷ current ns/op).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem \
+		./internal/gpu ./internal/sim ./internal/experiments \
+		| $(GO) run ./cmd/protean-benchjson -baseline bench/baseline.txt -o BENCH_PR4.json
+	@echo wrote BENCH_PR4.json
 
 # Smoke-run a pair of cheap experiments through the parallel scenario
 # runner; CI uses this to catch runner regressions end to end.

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -54,9 +56,44 @@ func run(args []string, stdout, stderr io.Writer) error {
 		asJSON   = fs.Bool("json", false, "emit JSON instead of text tables")
 		format   = fs.String("format", "text", "table format: text, markdown, csv")
 		traceOut = fs.String("trace", "", "write a merged lifecycle trace to `file` (.jsonl = event log, else Chrome trace JSON)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to `file`")
+		memProf  = fs.String("memprofile", "", "write an allocation profile (after the runs) to `file`")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(stderr, "protean-bench: cpuprofile:", err)
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(stderr, "protean-bench: memprofile:", err)
+				return
+			}
+			runtime.GC() // flush dead objects so the profile shows live + cumulative allocs accurately
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(stderr, "protean-bench: memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(stderr, "protean-bench: memprofile:", err)
+			}
+		}()
 	}
 
 	if *list || *runIDs == "" {

@@ -152,3 +152,31 @@ func TestSeedsAggregates(t *testing.T) {
 		t.Errorf("expected mean ± CI cells in aggregated output:\n%s", out.String())
 	}
 }
+
+// TestProfileFlags: -cpuprofile and -memprofile must write non-empty
+// pprof files without perturbing stdout.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var plain, profiled bytes.Buffer
+	if err := run([]string{"-run", "table4", "-quick"}, &plain, io.Discard); err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	if err := run([]string{"-run", "table4", "-quick", "-cpuprofile", cpu, "-memprofile", mem}, &profiled, io.Discard); err != nil {
+		t.Fatalf("profiled run: %v", err)
+	}
+	if plain.String() != profiled.String() {
+		t.Error("profiling flags changed stdout")
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("profile not written: %v", err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Command protean-benchjson converts `go test -bench` output into a
+// machine-readable JSON summary, optionally joined against a recorded
+// baseline run so every benchmark carries its speedup.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | protean-benchjson -baseline bench/baseline.txt -o BENCH_PR4.json
+//
+// Lines that are not benchmark results (goos/pkg headers, PASS, ok,
+// comments) are ignored, so raw `go test` output and annotated baseline
+// files both parse. Benchmark names are normalized by stripping the
+// trailing -N GOMAXPROCS suffix, so runs at different -cpu settings
+// still join. Output is sorted by name and contains no timestamps: the
+// same two inputs always produce the same bytes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Result holds one benchmark line. Baseline fields are pointers so
+// benchmarks without a baseline counterpart omit them entirely.
+type Result struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+
+	BaselineNsPerOp     *float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineBytesPerOp  *float64 `json:"baseline_bytes_per_op,omitempty"`
+	BaselineAllocsPerOp *float64 `json:"baseline_allocs_per_op,omitempty"`
+	// Speedup is baseline ns/op divided by current ns/op: >1 is faster.
+	Speedup *float64 `json:"speedup,omitempty"`
+}
+
+// benchLine matches a `go test -bench` result row:
+//
+//	BenchmarkName/sub=8-16   123456   789.0 ns/op   12 B/op   3 allocs/op
+//
+// The -benchmem columns are optional.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+
+// cpuSuffix is the trailing -N GOMAXPROCS marker on benchmark names.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+func parseBench(r io.Reader) (map[string]*Result, []string, error) {
+	out := map[string]*Result{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(m[1], "")
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parse %q: %w", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parse %q: %w", sc.Text(), err)
+		}
+		res := &Result{Name: name, Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			b, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("parse %q: %w", sc.Text(), err)
+			}
+			a, err := strconv.ParseFloat(m[5], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("parse %q: %w", sc.Text(), err)
+			}
+			res.BytesPerOp, res.AllocsPerOp = &b, &a
+		}
+		if _, dup := out[name]; !dup {
+			order = append(order, name)
+		}
+		// Last result wins on duplicates (e.g. -count>1 runs).
+		out[name] = res
+	}
+	return out, order, sc.Err()
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("protean-benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baselinePath = fs.String("baseline", "", "recorded `go test -bench` output to join against")
+		outPath      = fs.String("o", "", "write JSON to `file` instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	current, _, err := parseBench(stdin)
+	if err != nil {
+		return fmt.Errorf("parse stdin: %w", err)
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("no benchmark results on stdin")
+	}
+
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			return err
+		}
+		base, _, perr := parseBench(f)
+		_ = f.Close()
+		if perr != nil {
+			return fmt.Errorf("parse %s: %w", *baselinePath, perr)
+		}
+		for name, cur := range current {
+			b, ok := base[name]
+			if !ok {
+				continue
+			}
+			ns := b.NsPerOp
+			cur.BaselineNsPerOp = &ns
+			cur.BaselineBytesPerOp = b.BytesPerOp
+			cur.BaselineAllocsPerOp = b.AllocsPerOp
+			if cur.NsPerOp > 0 {
+				// Round to 3 decimals: enough to read, stable to format.
+				sp := float64(int64(ns/cur.NsPerOp*1000+0.5)) / 1000
+				cur.Speedup = &sp
+			}
+		}
+	}
+
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	results := make([]*Result, len(names))
+	for i, name := range names {
+		results[i] = current[name]
+	}
+
+	var w io.Writer = stdout
+	var f *os.File
+	if *outPath != "" {
+		f, err = os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(struct {
+		Benchmarks []*Result `json:"benchmarks"`
+	}{results})
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "protean-benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -75,11 +75,11 @@ func fits(sl *gpu.Slice, m *model.Model) bool {
 func pendingBEMem(g *gpu.GPU) float64 {
 	total := 0.0
 	for _, sl := range g.Slices() {
-		for _, j := range sl.Pending() {
+		sl.EachPending(func(j *gpu.Job) {
 			if !j.Strict {
 				total += j.W.MemGB(sl.Prof)
 			}
-		}
+		})
 	}
 	return total
 }

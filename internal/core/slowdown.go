@@ -34,12 +34,17 @@ func Slowdown(sl *gpu.Slice, m *model.Model, est FBREstimator, beTagFBR float64)
 	others := beTagFBR * (1 + amp*sens)
 	sm := math.Min(m.ComputeDemand()/sl.Prof.ComputeFrac, 1)
 	ownSM := math.Max(sm, 1)
-	resident := append(sl.Running(), sl.Pending()...)
-	for _, j := range resident {
+	// Visit residents without the defensive copies Running()/Pending()
+	// make: this runs once per candidate slice on every strict
+	// placement, and the accumulation order (running in start order,
+	// then pending in queue order) matches the copying version exactly.
+	accumulate := func(j *gpu.Job) {
 		poll, _ := j.W.Cache()
 		others += jobFBR(j, est) * (1 + amp*poll*sens)
 		sm += jobComputeDemand(j, sl.Prof)
 	}
+	sl.EachRunning(accumulate)
+	sl.EachPending(accumulate)
 	bwTerm := math.Max(own+others, 1) / math.Max(own, 1)
 	smTerm := math.Max(sm, 1) / ownSM
 	return rdf * math.Max(math.Max(bwTerm, smTerm), 1)

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"testing"
+)
+
+// fig2QuickGolden pins the SHA-256 of the fig2 quick-mode text report at
+// seed 1. The simulation promises byte-identical output for a given seed
+// across refactors — this hash is the regression tripwire for that
+// promise. If it fires, the change altered simulation semantics (event
+// ordering, float evaluation order, table formatting): either the change
+// is a bug, or it is an intentional semantic change and the new hash
+// must be re-pinned in the same commit with an explanation.
+const fig2QuickGolden = "c8ef05e46b1c3fa805548c9149252e334644a4d3d88ed755ffadd50fe3ad36ca"
+
+func TestFig2QuickGoldenHash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full quick-mode experiment; skipped in -short")
+	}
+	e, ok := ByID("fig2")
+	if !ok {
+		t.Fatal("fig2 experiment not registered")
+	}
+	report, err := RunReplicated(e, Params{Quick: true, Seed: 1, Parallel: 1}, 1)
+	if err != nil {
+		t.Fatalf("run fig2: %v", err)
+	}
+	var sb strings.Builder
+	if err := report.RenderAs(&sb, FormatText); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	if got := hex.EncodeToString(sum[:]); got != fig2QuickGolden {
+		t.Errorf("fig2 quick report hash = %s, want %s\n"+
+			"The report bytes changed. If this is intentional, re-pin the"+
+			" golden hash in the same commit and explain the semantic change.", got, fig2QuickGolden)
+	}
+}

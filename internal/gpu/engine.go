@@ -121,6 +121,31 @@ type Job struct {
 	timer       *sim.Timer
 	running     bool
 	done        bool
+
+	// Residency invariants, cached once at start(). Each is constant for
+	// as long as the job occupies its slice (the workload, scale, SM cap
+	// and slice profile are all fixed at start), so the rebalance hot
+	// path reads plain struct fields instead of re-deriving them through
+	// interface calls. Only provably residency-invariant values may be
+	// cached here — see DESIGN.md, "Performance model".
+	invFBR    float64 // effFBR()
+	invDemand float64 // effComputeDemand(slice.Prof)
+	invPoll   float64 // W.Cache() pollution
+	invSens   float64 // W.Cache() sensitivity
+	invMemGB  float64 // W.MemGB(slice.Prof)
+	invCached bool
+}
+
+// cacheInvariants snapshots the residency-invariant quantities for a job
+// starting on a slice with profile p. The cached values are bitwise
+// identical to what the lazy accessors would return on every later call,
+// because each accessor is a pure function of fields frozen at start.
+func (j *Job) cacheInvariants(p Profile) {
+	j.invFBR = j.effFBR()
+	j.invDemand = j.effComputeDemand(p)
+	j.invPoll, j.invSens = j.W.Cache()
+	j.invMemGB = j.W.MemGB(p)
+	j.invCached = true
 }
 
 func (j *Job) smFrac() float64 {
@@ -263,11 +288,13 @@ func (sl *Slice) Pending() []*Job {
 func (sl *Slice) Load() int { return len(sl.running) + len(sl.pending) }
 
 // TotalFBR is the summed effective FBR of the jobs currently running on
-// the slice — the contention term of Eq. (1).
+// the slice — the contention term of Eq. (1). Running jobs always carry
+// their cached invariants, and the sum runs left to right in start
+// order, so the result is bitwise identical to re-deriving each term.
 func (sl *Slice) TotalFBR() float64 {
 	total := 0.0
 	for _, j := range sl.running {
-		total += j.effFBR()
+		total += j.invFBR
 	}
 	return total
 }
@@ -277,9 +304,28 @@ func (sl *Slice) TotalFBR() float64 {
 func (sl *Slice) TotalComputeDemand() float64 {
 	total := 0.0
 	for _, j := range sl.running {
-		total += j.effComputeDemand(sl.Prof)
+		total += j.invDemand
 	}
 	return total
+}
+
+// EachRunning calls fn for every running job in start order, without the
+// defensive copy Running() makes. Intended for hot paths (placement
+// scoring, admission scans) that visit resident jobs on every decision.
+// fn must not mutate the slice's job set.
+func (sl *Slice) EachRunning(fn func(*Job)) {
+	for _, j := range sl.running {
+		fn(j)
+	}
+}
+
+// EachPending calls fn for every admitted-but-not-started job in queue
+// order, without the defensive copy Pending() makes. fn must not mutate
+// the slice's job set.
+func (sl *Slice) EachPending(fn func(*Job)) {
+	for _, j := range sl.pending {
+		fn(j)
+	}
 }
 
 // Slowdown is the worst interference multiplier currently in force on
@@ -323,19 +369,31 @@ func (sl *Slice) slowdownFor(j *Job) float64 {
 		return 1
 	}
 	amp := sl.gpu.InterferenceAmp
-	_, sens := j.W.Cache()
-	own := j.effFBR()
+	// Running jobs carry cached invariants; a what-if query for a job
+	// that is not resident here (public SlowdownFor) derives them afresh
+	// against this slice's profile, exactly as the accessors would.
+	own, ownDemand, sens := j.invFBR, j.invDemand, j.invSens
+	if !j.invCached || j.slice != sl {
+		own = j.effFBR()
+		ownDemand = j.effComputeDemand(sl.Prof)
+		_, sens = j.W.Cache()
+	}
+	// Both sums run left to right over sl.running, in the same order as
+	// the pre-cache implementation (TotalComputeDemand included j's own
+	// term in its position within the running list).
 	others := 0.0
+	demand := 0.0
 	for _, r := range sl.running {
 		if r == j {
+			demand += ownDemand
 			continue
 		}
-		poll, _ := r.W.Cache()
-		others += r.effFBR() * (1 + amp*poll*sens)
+		others += r.invFBR * (1 + amp*r.invPoll*sens)
+		demand += r.invDemand
 	}
 	bw := math.Max(own+others, 1) / math.Max(own, 1)
-	ownSM := math.Max(j.effComputeDemand(sl.Prof), 1)
-	sm := math.Max(sl.TotalComputeDemand(), 1) / ownSM
+	ownSM := math.Max(ownDemand, 1)
+	sm := math.Max(demand, 1) / ownSM
 	return math.Max(math.Max(bw, sm), 1)
 }
 
@@ -424,7 +482,8 @@ func (sl *Slice) start(j *Job) {
 	j.lastAdvance = now
 	j.running = true
 	j.remaining = j.W.SoloTime(j.effProfile(sl.Prof)) * j.scale() * j.jitter()
-	sl.usedMem += j.W.MemGB(sl.Prof)
+	j.cacheInvariants(sl.Prof)
+	sl.usedMem += j.invMemGB
 	sl.running = append(sl.running, j)
 	sl.emitJob(obs.KindExecStart, j)
 	sl.rebalance(now)
@@ -458,8 +517,13 @@ func (sl *Slice) emitJob(k obs.Kind, j *Job) {
 
 // rebalance advances every running job's progress to now and reschedules
 // completions under the new slowdown. It must be called whenever slice
-// occupancy changes.
+// occupancy changes. Completion timers are rescheduled in place
+// (sim.Timer.Reschedule) rather than cancelled and reallocated, so the
+// hot path allocates nothing and leaves no dead timers in the event
+// heap; a job that has no timer yet (it is the one being started) gets
+// a fresh one.
 func (sl *Slice) rebalance(now float64) {
+	worst := 1.0
 	for _, j := range sl.running {
 		if j.slow > 0 {
 			elapsed := now - j.lastAdvance
@@ -467,8 +531,11 @@ func (sl *Slice) rebalance(now float64) {
 		}
 		j.lastAdvance = now
 		j.slow = sl.slowdownFor(j)
-		if j.timer != nil {
-			j.timer.Cancel()
+		if j.slow > worst {
+			worst = j.slow
+		}
+		if j.timer != nil && j.timer.Reschedule(now+j.remaining*j.slow) == nil {
+			continue
 		}
 		j := j
 		j.timer = sl.sim.MustAfter(j.remaining*j.slow, func() { sl.complete(j) })
@@ -477,7 +544,10 @@ func (sl *Slice) rebalance(now float64) {
 		ev := obs.At(now, obs.KindSlowdown)
 		ev.Node = sl.gpu.ID
 		ev.Slice = sl.index
-		ev.Value = sl.Slowdown()
+		// worst is exactly Slowdown(): the max over running jobs of the
+		// multipliers the loop just computed. Reusing it avoids a second
+		// O(n²) pass when tracing is on; untraced runs skip even that.
+		ev.Value = worst
 		tr.Emit(ev)
 	}
 }
@@ -497,7 +567,9 @@ func (sl *Slice) complete(j *Job) {
 			break
 		}
 	}
-	sl.usedMem -= j.W.MemGB(sl.Prof)
+	// Subtract the exact value start() added: invMemGB is the cached
+	// result of the same pure W.MemGB(sl.Prof) call.
+	sl.usedMem -= j.invMemGB
 	if sl.usedMem < 1e-9 {
 		sl.usedMem = 0
 	}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotcopyAnalyzer flags defensive-copy accessors called inside loop
+// bodies in internal packages. The engine's introspection methods —
+// Running(), Pending(), Slices(), Geometry() — return a freshly
+// allocated copy on every call so callers cannot corrupt engine state;
+// calling one of them per loop iteration turns an O(n) walk into O(n)
+// allocations and is exactly the pattern that made the pre-PR4
+// placement path allocation-heavy. Hoist the call out of the loop, or
+// use the allocation-free iterators (Slice.EachRunning/EachPending)
+// when visiting jobs on a hot path. Intentional sites — cold paths,
+// construction-time loops — carry a //lint:ignore hotcopy suppression
+// with the reason.
+//
+// A call is reported when it is a niladic method call named Running,
+// Pending, Slices or Geometry whose result is a slice (so sim.Pending()
+// returning an int, or a queue depth counter, never matches) and it
+// appears lexically inside the body of a for or range statement. Range
+// operands of top-level loops are evaluated once and are not flagged;
+// the same operand inside a nested loop is, because it repeats per
+// outer iteration.
+func HotcopyAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "hotcopy",
+		Doc:  "flag defensive-copy accessors (Running/Pending/Slices/Geometry) called inside loops; hoist them or use the Each* iterators",
+		Run:  runHotcopy,
+	}
+}
+
+// hotcopyMethods are the engine accessors that return defensive copies.
+var hotcopyMethods = map[string]bool{
+	"Running":  true,
+	"Pending":  true,
+	"Slices":   true,
+	"Geometry": true,
+}
+
+func runHotcopy(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	if !pkg.Internal {
+		return
+	}
+	seen := map[token.Pos]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			checkHotcopyCalls(pkg, body, seen, report)
+			return true
+		})
+	}
+}
+
+// checkHotcopyCalls reports every defensive-copy call under body.
+// Function literals are not entered: a closure defined in a loop may run
+// once (or never), so flagging its body would be speculative.
+func checkHotcopyCalls(pkg *Package, body *ast.BlockStmt, seen map[token.Pos]bool, report func(pos token.Pos, format string, args ...any)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !hotcopyMethods[sel.Sel.Name] {
+			return true
+		}
+		if !isSliceReturningMethod(pkg.Info, sel) {
+			return true
+		}
+		if seen[call.Pos()] {
+			return true
+		}
+		seen[call.Pos()] = true
+		report(call.Pos(), "%s() copies its result on every call and runs once per loop iteration; hoist it out of the loop or use an Each* iterator",
+			sel.Sel.Name)
+		return true
+	})
+}
+
+// isSliceReturningMethod reports whether sel resolves to a method (not a
+// package-level function) with a single slice-typed result — the
+// defensive-copy signature shape.
+func isSliceReturningMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() != 1 {
+		return false
+	}
+	_, isSlice := sig.Results().At(0).Type().Underlying().(*types.Slice)
+	return isSlice
+}

@@ -71,6 +71,7 @@ func Analyzers() []*Analyzer {
 		MaporderAnalyzer(),
 		FloateqAnalyzer(),
 		ErrignoreAnalyzer(),
+		HotcopyAnalyzer(),
 	}
 }
 

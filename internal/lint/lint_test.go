@@ -117,6 +117,19 @@ func TestErrignoreFixture(t *testing.T) {
 	checkFixture(t, "errignore", "fixturemod/errignore", ErrignoreAnalyzer())
 }
 
+func TestHotcopyFixture(t *testing.T) {
+	checkFixture(t, "hotcopy", "fixturemod/internal/hotcopy", HotcopyAnalyzer())
+}
+
+func TestHotcopySkipsNonInternal(t *testing.T) {
+	// Defensive copies in cmd/ or examples/ are presentation-layer code;
+	// the rule only polices the simulation hot paths under internal/.
+	findings := runFixture(t, "hotcopy", "fixturemod/cmd/hotcopy", HotcopyAnalyzer())
+	if len(findings) != 0 {
+		t.Fatalf("hotcopy fired outside internal/: %v", findings)
+	}
+}
+
 func TestMalformedDirective(t *testing.T) {
 	// A directive with no reason must be reported, never silently
 	// honored: run with zero analyzers and expect exactly the

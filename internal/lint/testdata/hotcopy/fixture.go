@@ -1,0 +1,93 @@
+package hotcopy
+
+// Fixture for the hotcopy analyzer: defensive-copy accessors
+// (Running/Pending/Slices/Geometry returning slices) called inside loop
+// bodies must be flagged; one-shot range operands, non-slice results and
+// suppressed sites must not.
+
+type Job struct{ Strict bool }
+
+type Slice struct {
+	running []*Job
+	pending []*Job
+}
+
+func (sl *Slice) Running() []*Job {
+	out := make([]*Job, len(sl.running))
+	copy(out, sl.running)
+	return out
+}
+
+func (sl *Slice) Pending() []*Job {
+	out := make([]*Job, len(sl.pending))
+	copy(out, sl.pending)
+	return out
+}
+
+// Depth shares a flagged name in spirit but returns an int; the analyzer
+// keys on the slice-returning signature, so a counter is never flagged.
+type Queue struct{ n int }
+
+func (q *Queue) Pending() int { return q.n }
+
+type GPU struct{ slices []*Slice }
+
+func (g *GPU) Slices() []*Slice {
+	out := make([]*Slice, len(g.slices))
+	copy(out, g.slices)
+	return out
+}
+
+func (g *GPU) Geometry() []int { return []int{7} }
+
+func countStrict(g *GPU, q *Queue) int {
+	total := 0
+	// A top-level range operand is evaluated once: not flagged.
+	for _, sl := range g.Slices() {
+		for _, j := range sl.Running() { // want:hotcopy
+			if j.Strict {
+				total++
+			}
+		}
+		jobs := sl.Pending() // want:hotcopy
+		total += len(jobs)
+		total += q.Pending() // int result: not flagged
+	}
+	return total
+}
+
+func geometries(g *GPU, nodes int) [][]int {
+	out := make([][]int, 0, nodes)
+	for i := 0; i < nodes; i++ {
+		out = append(out, g.Geometry()) // want:hotcopy
+	}
+	return out
+}
+
+func suppressed(g *GPU) int {
+	total := 0
+	for range g.Slices() {
+		//lint:ignore hotcopy construction-time loop, runs once per process
+		total += len(g.Geometry())
+	}
+	return total
+}
+
+// hoisted is the recommended shape: one copy, reused by the loop.
+func hoisted(g *GPU) int {
+	total := 0
+	slices := g.Slices()
+	for _, sl := range slices {
+		total += len(sl.running)
+	}
+	return total
+}
+
+// closures are not entered: the literal may run once or never.
+func deferred(g *GPU) func() []*Slice {
+	var get func() []*Slice
+	for i := 0; i < 1; i++ {
+		get = func() []*Slice { return g.Slices() }
+	}
+	return get
+}

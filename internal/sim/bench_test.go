@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// nop is the timer payload for heap benchmarks.
+func nop() {}
+
+// benchSim returns a simulator pre-loaded with n live timers spread over
+// distinct future instants.
+func benchSim(n int) (*Sim, []*Timer) {
+	s := New(1)
+	timers := make([]*Timer, n)
+	for i := range timers {
+		timers[i] = s.MustAfter(1+float64(i), nop)
+	}
+	return s, timers
+}
+
+// BenchmarkTimerCancelPush measures the pre-optimization rebalance
+// pattern: cancel a live timer and push a freshly allocated replacement.
+// The cancelled timer lingers in the heap until lazy deletion (or, after
+// this PR, opportunistic compaction) removes it; the fixture is rebuilt
+// every 1024 iterations to keep the lazy-deletion variant at a bounded
+// steady-state heap size.
+func BenchmarkTimerCancelPush(b *testing.B) {
+	const live = 64
+	s, timers := benchSim(live)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%1024 == 1023 {
+			s, timers = benchSim(live)
+		}
+		k := i % live
+		timers[k].Cancel()
+		timers[k] = s.MustAfter(1+float64(k), nop)
+	}
+}
+
+// BenchmarkTimerReschedule measures the in-place replacement for the
+// cancel+push pattern: the same Timer allocation is moved to a new
+// instant via heap.Fix, so the heap never accumulates dead entries and
+// no allocation happens per move.
+func BenchmarkTimerReschedule(b *testing.B) {
+	const live = 64
+	s, timers := benchSim(live)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % live
+		if err := timers[k].Reschedule(1 + float64(k)); err != nil {
+			b.Fatalf("Reschedule: %v", err)
+		}
+	}
+	_ = s
+}
+
+// BenchmarkPending measures Sim.Pending at a large outstanding-timer
+// count (O(n) scan before this PR, O(1) counter after).
+func BenchmarkPending(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("timers=%d", n), func(b *testing.B) {
+			s, _ := benchSim(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := s.Pending(); got != n {
+					b.Fatalf("Pending = %d, want %d", got, n)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestRescheduleTieBreakMatchesCancelPush pins the contract Reschedule
+// is built on: moving a timer to an instant that already has scheduled
+// events orders it exactly as cancelling it and pushing a fresh timer
+// there would — after every event already at that instant.
+func TestRescheduleTieBreakMatchesCancelPush(t *testing.T) {
+	run := func(reschedule bool) []string {
+		s := New(1)
+		var order []string
+		a := s.MustAfter(10, func() { order = append(order, "a") })
+		s.MustAfter(5, func() { order = append(order, "b") })
+		s.MustAfter(5, func() { order = append(order, "c") })
+		if reschedule {
+			if err := a.Reschedule(5); err != nil {
+				t.Fatalf("Reschedule: %v", err)
+			}
+		} else {
+			a.Cancel()
+			s.MustAfter(5, func() { order = append(order, "a") })
+		}
+		if err := s.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return order
+	}
+	got, want := run(true), run(false)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("reschedule order %v, cancel+push order %v", got, want)
+	}
+	if fmt.Sprint(want) != "[b c a]" {
+		t.Errorf("cancel+push order = %v, want [b c a]", want)
+	}
+}
+
+func TestRescheduleEarlierAndLater(t *testing.T) {
+	s := New(1)
+	var fired []float64
+	tm := s.MustAfter(10, func() { fired = append(fired, s.Now()) })
+	if err := tm.Reschedule(3); err != nil {
+		t.Fatalf("Reschedule earlier: %v", err)
+	}
+	if tm.At() != 3 {
+		t.Errorf("At = %v, want 3", tm.At())
+	}
+	if err := tm.Reschedule(7); err != nil {
+		t.Fatalf("Reschedule later: %v", err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 1 || fired[0] != 7 {
+		t.Errorf("fired at %v, want [7]", fired)
+	}
+}
+
+// TestRescheduleRearmsFiredTimer: a timer that already fired can be
+// rescheduled, re-arming the same allocation with its original callback.
+func TestRescheduleRearmsFiredTimer(t *testing.T) {
+	s := New(1)
+	n := 0
+	tm := s.MustAfter(1, func() { n++ })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("fired %d times, want 1", n)
+	}
+	if tm.Active() {
+		t.Fatal("fired timer still active")
+	}
+	if err := tm.Reschedule(s.Now() + 1); err != nil {
+		t.Fatalf("Reschedule fired timer: %v", err)
+	}
+	if !tm.Active() {
+		t.Fatal("re-armed timer not active")
+	}
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("fired %d times, want 2", n)
+	}
+}
+
+func TestRescheduleRearmsCancelledTimer(t *testing.T) {
+	s := New(1)
+	n := 0
+	tm := s.MustAfter(1, func() { n++ })
+	tm.Cancel()
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after cancel = %d, want 0", got)
+	}
+	if err := tm.Reschedule(2); err != nil {
+		t.Fatalf("Reschedule cancelled timer: %v", err)
+	}
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending after re-arm = %d, want 1", got)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n != 1 {
+		t.Errorf("fired %d times, want 1", n)
+	}
+	if s.Now() != 2 {
+		t.Errorf("Now = %v, want 2 (re-armed time)", s.Now())
+	}
+}
+
+func TestRescheduleErrors(t *testing.T) {
+	s := New(1)
+	tm := s.MustAfter(5, func() {})
+	s.MustAfter(2, func() {
+		if err := tm.Reschedule(1); err == nil {
+			t.Error("Reschedule into the past succeeded")
+		}
+	})
+	if err := tm.Reschedule(math.NaN()); err == nil {
+		t.Error("Reschedule at NaN succeeded")
+	}
+	if err := tm.Reschedule(math.Inf(1)); err == nil {
+		t.Error("Reschedule at +Inf succeeded")
+	}
+	var zero Timer
+	if err := zero.Reschedule(1); err == nil {
+		t.Error("Reschedule of a zero timer succeeded")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestPendingCountsLiveTimers pins the O(1) counter against every
+// transition: push, cancel, re-arm, fire.
+func TestPendingCountsLiveTimers(t *testing.T) {
+	s := New(1)
+	timers := make([]*Timer, 10)
+	for i := range timers {
+		timers[i] = s.MustAfter(float64(i+1), func() {})
+	}
+	if got := s.Pending(); got != 10 {
+		t.Fatalf("Pending = %d, want 10", got)
+	}
+	for i := 0; i < 4; i++ {
+		timers[i].Cancel()
+	}
+	if got := s.Pending(); got != 6 {
+		t.Fatalf("Pending after cancels = %d, want 6", got)
+	}
+	timers[0].Cancel() // double cancel: no effect
+	if got := s.Pending(); got != 6 {
+		t.Fatalf("Pending after double cancel = %d, want 6", got)
+	}
+	if err := timers[1].Reschedule(20); err != nil {
+		t.Fatalf("Reschedule: %v", err)
+	}
+	if got := s.Pending(); got != 7 {
+		t.Fatalf("Pending after re-arm = %d, want 7", got)
+	}
+	if err := s.RunUntil(15); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending after firing = %d, want 1", got)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", got)
+	}
+}
+
+// TestCompactionShrinksHeap cancels far more timers than it keeps and
+// checks the heap physically shrank while the survivors fire in order.
+func TestCompactionShrinksHeap(t *testing.T) {
+	s := New(1)
+	const total = 1024
+	timers := make([]*Timer, total)
+	for i := range timers {
+		timers[i] = s.MustAfter(float64(i+1), nop)
+	}
+	for i, tm := range timers {
+		if i%8 != 0 {
+			tm.Cancel()
+		}
+	}
+	live := total / 8
+	if got := s.Pending(); got != live {
+		t.Fatalf("Pending = %d, want %d", got, live)
+	}
+	if got := len(s.queue); got > 2*live {
+		t.Errorf("heap holds %d entries for %d live timers; compaction did not run", got, live)
+	}
+	// Compaction triggers whenever cancelled entries outnumber live
+	// ones, so at rest the heap never carries more dead than live.
+	dead := 0
+	for _, tm := range s.queue {
+		if tm.cancelled {
+			dead++
+		}
+	}
+	if dead > live {
+		t.Errorf("heap carries %d cancelled entries for %d live timers", dead, live)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Errorf("Pending after run = %d, want 0", got)
+	}
+}
+
+// TestCompactionRandomized drives a randomized schedule/cancel/reschedule
+// workload and checks, against a naive reference, that exactly the right
+// callbacks fire, in exactly (time, reschedule-order) sequence, with
+// Pending correct throughout.
+func TestCompactionRandomized(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(seed)
+		const total = 512
+		type ref struct {
+			id    int
+			at    float64
+			seq   int // order of the last (re)schedule, the tie-break
+			alive bool
+		}
+		refs := make([]*ref, total)
+		timers := make([]*Timer, total)
+		seq := 0
+		var fired []int
+		for i := 0; i < total; i++ {
+			at := math.Trunc(rng.Float64()*100) / 2 // coarse grid: plenty of ties
+			id := i
+			timers[i] = s.MustAfter(at, func() { fired = append(fired, id) })
+			refs[i] = &ref{id: id, at: timers[i].At(), seq: seq, alive: true}
+			seq++
+		}
+		for step := 0; step < 4*total; step++ {
+			k := rng.Intn(total)
+			switch rng.Intn(3) {
+			case 0:
+				if timers[k].Cancel() {
+					refs[k].alive = false
+				}
+			case 1:
+				at := math.Trunc(rng.Float64()*100) / 2
+				if err := timers[k].Reschedule(at); err != nil {
+					t.Fatalf("seed %d: Reschedule: %v", seed, err)
+				}
+				refs[k].at = at
+				refs[k].seq = seq
+				refs[k].alive = true
+				seq++
+			case 2:
+				// Churn: cancel immediately after rescheduling, the
+				// pattern that used to strand dead timers in the heap.
+				if err := timers[k].Reschedule(math.Trunc(rng.Float64()*100) / 2); err != nil {
+					t.Fatalf("seed %d: Reschedule: %v", seed, err)
+				}
+				seq++
+				timers[k].Cancel()
+				refs[k].alive = false
+			}
+			want := 0
+			for _, r := range refs {
+				if r.alive {
+					want++
+				}
+			}
+			if got := s.Pending(); got != want {
+				t.Fatalf("seed %d step %d: Pending = %d, want %d", seed, step, got, want)
+			}
+		}
+		var expect []*ref
+		for _, r := range refs {
+			if r.alive {
+				expect = append(expect, r)
+			}
+		}
+		sort.Slice(expect, func(i, j int) bool {
+			if expect[i].at != expect[j].at {
+				return expect[i].at < expect[j].at
+			}
+			return expect[i].seq < expect[j].seq
+		})
+		if err := s.Run(); err != nil {
+			t.Fatalf("seed %d: Run: %v", seed, err)
+		}
+		if len(fired) != len(expect) {
+			t.Fatalf("seed %d: fired %d callbacks, want %d", seed, len(fired), len(expect))
+		}
+		for i, r := range expect {
+			if fired[i] != r.id {
+				t.Fatalf("seed %d: firing[%d] = timer %d, want %d", seed, i, fired[i], r.id)
+			}
+		}
+	}
+}

@@ -22,13 +22,15 @@ import (
 var ErrStopped = errors.New("simulation stopped")
 
 // Timer is a handle to a scheduled event. It can be cancelled until it
-// fires.
+// fires, and rescheduled in place (see Reschedule) without allocating a
+// replacement.
 type Timer struct {
 	at        float64
 	seq       uint64
 	fn        func()
 	index     int // heap index; -1 when not queued
 	cancelled bool
+	sim       *Sim
 }
 
 // At reports the virtual time the timer is scheduled to fire at.
@@ -46,7 +48,46 @@ func (t *Timer) Cancel() bool {
 		return false
 	}
 	t.cancelled = true
+	if t.sim != nil {
+		t.sim.active--
+		t.sim.maybeCompact()
+	}
 	return true
+}
+
+// Reschedule moves the timer to fire at virtual time at. The timer keeps
+// its callback but receives a fresh sequence number, so its tie-break
+// behaviour at an already-populated instant is identical to cancelling it
+// and scheduling a new timer there: it fires after every event already
+// scheduled for the same time. A fired or cancelled timer is re-armed.
+// Unlike the cancel-and-reallocate pattern, the heap entry is updated in
+// place (container/heap.Fix), so the hot rebalance path allocates
+// nothing and leaves no dead timers behind.
+func (t *Timer) Reschedule(at float64) error {
+	if t == nil || t.sim == nil || t.fn == nil {
+		return errors.New("sim: reschedule of a timer not created by this simulation")
+	}
+	s := t.sim
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		return fmt.Errorf("sim: reschedule at non-finite time %v", at)
+	}
+	if at < s.now {
+		return fmt.Errorf("sim: reschedule at %.9f before now %.9f", at, s.now)
+	}
+	wasPending := !t.cancelled && t.index >= 0
+	t.at = at
+	t.seq = s.seq
+	s.seq++
+	t.cancelled = false
+	if t.index >= 0 {
+		heap.Fix(&s.queue, t.index)
+	} else {
+		heap.Push(&s.queue, t)
+	}
+	if !wasPending {
+		s.active++
+	}
+	return nil
 }
 
 // Sim is a discrete-event simulator. The zero value is not usable; use New.
@@ -54,6 +95,7 @@ type Sim struct {
 	now     float64
 	seq     uint64
 	queue   timerHeap
+	active  int // queued timers that are not cancelled; keeps Pending O(1)
 	rng     *rand.Rand
 	stopped bool
 	tracer  obs.Tracer
@@ -100,9 +142,10 @@ func (s *Sim) At(t float64, fn func()) (*Timer, error) {
 	if fn == nil {
 		return nil, errors.New("sim: schedule nil func")
 	}
-	tm := &Timer{at: t, seq: s.seq, fn: fn, index: -1}
+	tm := &Timer{at: t, seq: s.seq, fn: fn, index: -1, sim: s}
 	s.seq++
 	heap.Push(&s.queue, tm)
+	s.active++
 	return tm, nil
 }
 
@@ -132,15 +175,42 @@ func (s *Sim) MustAfter(d float64, fn func()) *Timer {
 // either way, so a subsequent run resumes normally.
 func (s *Sim) Stop() { s.stopped = true }
 
-// Pending returns the number of queued (uncancelled) events.
-func (s *Sim) Pending() int {
-	n := 0
-	for _, tm := range s.queue {
-		if !tm.cancelled {
-			n++
-		}
+// Pending returns the number of queued (uncancelled) events. The count
+// is maintained incrementally on every push, pop and cancel, so this is
+// O(1) — it also drives the opportunistic heap compaction below.
+func (s *Sim) Pending() int { return s.active }
+
+// compactMinLen is the heap size below which compaction never triggers:
+// lazy deletion on a tiny heap is already cheap, and rebuilding it would
+// cost more than it saves.
+const compactMinLen = 32
+
+// maybeCompact rebuilds the timer heap without its cancelled entries
+// once they outnumber the live ones — the Go runtime's timer-heap
+// cleanup strategy. Sustained cancel/reschedule load therefore keeps
+// the heap within 2× the live timer count instead of growing without
+// bound until lazy deletion catches up. Rebuilding via heap.Init is
+// safe for determinism: the (time, sequence) order is total, so the
+// pop sequence is independent of the heap's internal layout.
+func (s *Sim) maybeCompact() {
+	n := len(s.queue)
+	if n < compactMinLen || n-s.active <= s.active {
+		return
 	}
-	return n
+	live := s.queue[:0]
+	for _, tm := range s.queue {
+		if tm.cancelled {
+			tm.index = -1
+			continue
+		}
+		tm.index = len(live)
+		live = append(live, tm)
+	}
+	for i := len(live); i < n; i++ {
+		s.queue[i] = nil
+	}
+	s.queue = live
+	heap.Init(&s.queue)
 }
 
 // Run executes events until the queue is empty or Stop is called. It
@@ -172,6 +242,7 @@ func (s *Sim) RunUntil(horizon float64) error {
 			return nil
 		}
 		heap.Pop(&s.queue)
+		s.active--
 		s.now = next.at
 		next.fn()
 	}
