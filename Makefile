@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-quick trace-demo ci
+.PHONY: all build vet lint test race bench bench-quick trace-demo chaos-demo ci
 
 all: build
 
@@ -42,5 +42,12 @@ bench-quick:
 # MIG reconfigurations and autoscale decisions on a timeline.
 trace-demo:
 	$(GO) run ./cmd/protean-bench -run fig2 -quick -trace trace-demo.json
+
+# Run the full chaos fault sweep: availability, goodput and cost for a
+# static-MIG baseline vs PROTEAN at 0x/0.5x/1x/2x of the reference
+# fault mix, plus a cold-start fault stress table. Deterministic per
+# seed — see the "Fault model" section of DESIGN.md.
+chaos-demo:
+	$(GO) run ./cmd/protean-bench -run chaos -seed 1
 
 ci: build vet lint race bench-quick

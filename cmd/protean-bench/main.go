@@ -101,6 +101,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		for _, e := range experiments.Registry() {
 			fmt.Fprintf(stdout, "  %-8s %s\n", e.ID, e.Title)
 		}
+		fmt.Fprintln(stdout, "extras (not part of -run all):")
+		for _, e := range experiments.Extras() {
+			fmt.Fprintf(stdout, "  %-8s %s\n", e.ID, e.Title)
+		}
 		if *runIDs == "" && !*list {
 			fmt.Fprintln(stdout, "\nrun with -run <id>[,<id>...] or -run all")
 		}

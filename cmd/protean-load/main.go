@@ -4,6 +4,7 @@
 //
 //	protean-load -server http://localhost:8080 -model "ResNet 50" -rps 9000
 //	protean-load -server http://localhost:8080 -model "ResNet 50" -rps 9000 -json
+//	protean-load -server http://localhost:8080 -model "ResNet 50" -rps 9000 -chaos 1
 package main
 
 import (
@@ -39,6 +40,7 @@ func run(args []string, stdout io.Writer) error {
 		shape       = fs.String("shape", "wiki", "trace shape: constant, wiki, twitter")
 		procurement = fs.String("procurement", "", "VM layer: '', on-demand, hybrid, spot-only")
 		spot        = fs.String("spot", "high", "spot availability: high, moderate, low")
+		chaosScale  = fs.Float64("chaos", 0, "fault-injection scale (0 = off, 1 = reference mix)")
 		timeout     = fs.Duration("timeout", 5*time.Minute, "request timeout")
 		asJSON      = fs.Bool("json", false, "print the server's JSON response instead of the text summary")
 	)
@@ -59,6 +61,9 @@ func run(args []string, stdout io.Writer) error {
 	if *procurement != "" {
 		body["procurement"] = *procurement
 		body["spotAvailability"] = *spot
+	}
+	if *chaosScale > 0 {
+		body["chaosScale"] = *chaosScale
 	}
 	payload, err := json.Marshal(body)
 	if err != nil {
@@ -101,6 +106,9 @@ func run(args []string, stdout io.Writer) error {
 		ColdStarts       int     `json:"coldStarts"`
 		Reconfigurations int     `json:"reconfigurations"`
 		NormalizedCost   float64 `json:"normalizedCost"`
+		Availability     float64 `json:"availability"`
+		Requeued         int     `json:"requeued"`
+		Retries          int     `json:"retries"`
 		Models           []struct {
 			Model    string `json:"model"`
 			Requests int    `json:"requests"`
@@ -121,6 +129,10 @@ func run(args []string, stdout io.Writer) error {
 	w.printf("  cold starts:      %d, reconfigurations: %d\n", out.ColdStarts, out.Reconfigurations)
 	if out.NormalizedCost > 0 {
 		w.printf("  normalized cost:  %.3f of on-demand\n", out.NormalizedCost)
+	}
+	if *chaosScale > 0 {
+		w.printf("  availability:     %.2f%% (requeued %d, retries %d)\n",
+			out.Availability*100, out.Requeued, out.Retries)
 	}
 	for _, m := range out.Models {
 		w.printf("  model %-16q %6d requests, P99 %.1f ms\n", m.Model, m.Requests, m.P99*1000)

@@ -11,7 +11,8 @@
 //	GET  /schemes
 //	GET  /experiments
 //	POST /experiments/{id}[?quick=1]
-//	POST /simulate                     body may set "trace": true
+//	POST /simulate                     body may set "trace": true and
+//	                                   "chaosScale" for fault injection
 //	GET  /traces/{id}[?format=jsonl]   Chrome trace-event JSON by default
 //	GET  /metrics                      Prometheus text exposition
 package main

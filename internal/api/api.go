@@ -39,6 +39,9 @@ type SimulateRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// WarmupSeconds excludes ramp-up from metrics.
 	WarmupSeconds float64 `json:"warmupSeconds,omitempty"`
+	// ChaosScale enables deterministic fault injection at a multiple of
+	// the reference fault mix (0 = off).
+	ChaosScale float64 `json:"chaosScale,omitempty"`
 
 	// StrictModel names the strict workload.
 	StrictModel string `json:"strictModel"`
@@ -69,6 +72,9 @@ type SimulateResponse struct {
 	ColdStarts        int                      `json:"coldStarts"`
 	Reconfigurations  int                      `json:"reconfigurations"`
 	NormalizedCost    float64                  `json:"normalizedCost,omitempty"`
+	Availability      float64                  `json:"availability"`
+	Requeued          int                      `json:"requeued,omitempty"`
+	Retries           int                      `json:"retries,omitempty"`
 	GeometryTimeline  []protean.GeometryChange `json:"geometryTimeline,omitempty"`
 	// Models is the per-model traffic snapshot (metrics.Recorder.Snapshot).
 	Models []metrics.ModelStats `json:"models,omitempty"`
@@ -346,6 +352,9 @@ func (s *Server) simulate(req SimulateRequest) (*SimulateResponse, error) {
 	if req.WarmupSeconds > 0 {
 		opts = append(opts, protean.WithWarmup(time.Duration(req.WarmupSeconds*float64(time.Second))))
 	}
+	if req.ChaosScale > 0 {
+		opts = append(opts, protean.WithChaos(req.ChaosScale))
+	}
 	var col *obs.Collector
 	if req.Trace {
 		scheme := req.Scheme
@@ -381,6 +390,9 @@ func (s *Server) simulate(req SimulateRequest) (*SimulateResponse, error) {
 		ColdStarts:        res.ColdStarts,
 		Reconfigurations:  res.Reconfigurations,
 		NormalizedCost:    res.NormalizedCost,
+		Availability:      res.Availability,
+		Requeued:          res.Requeued,
+		Retries:           res.Retries,
 		GeometryTimeline:  res.GeometryTimeline,
 		Models:            res.Models,
 	}

@@ -108,6 +108,21 @@ func (s *Scaler) Release(modelName string) error {
 	return nil
 }
 
+// Abort cancels an Acquire whose container load failed before serving
+// (injected cold-start failure): the reservation is released and the
+// half-booted container is torn down rather than returned to the pool,
+// so the retry pays a fresh cold start unless another warm container
+// freed up meanwhile.
+func (s *Scaler) Abort(modelName string) error {
+	p := s.pools[modelName]
+	if p == nil || p.busy <= 0 {
+		return fmt.Errorf("autoscale: abort without acquire for %q", modelName)
+	}
+	p.busy--
+	s.spawned--
+	return nil
+}
+
 // expire reclaims idle containers past the keep-alive window (delayed
 // termination).
 func (s *Scaler) expire(modelName string, p *pool) {

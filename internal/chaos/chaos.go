@@ -1,0 +1,445 @@
+// Package chaos is PROTEAN's deterministic fault-injection subsystem:
+// a virtual-time fault scheduler that stresses the availability story
+// (§4.5 and the ROADMAP north-star) beyond the spot revocations the vm
+// package already models.
+//
+// Five fault kinds are injected, all drawn from a dedicated RNG seeded
+// once from the simulation's seeded stream, so a chaos schedule is a
+// pure function of the run's seed — byte-identical across repeats and
+// across any -parallel setting:
+//
+//   - GPU slice failure (Xid-style): in-flight jobs on one MIG slice
+//     are killed and the slice goes offline for a repair window.
+//   - Stuck or aborted MIG reconfiguration: the ~2 s downtime stretches
+//     by a factor, or the geometry change fails and rolls back.
+//   - Execution stragglers: a per-batch service-time multiplier spike.
+//   - Cold-start failure: a container load fails after the boot delay
+//     and must be retried under bounded exponential backoff.
+//   - Correlated spot-preemption storms: a fraction of spot nodes
+//     receive simultaneous revocation notices, layered on the vm.Fleet
+//     notice machinery.
+//
+// The package is zero-dependency above sim and obs, reads no wall
+// clock and no global rand, and is disabled by default: New returns a
+// nil *Injector when Config.Enabled is false, every method on a nil
+// injector is a safe no-op decision, and a disabled run draws zero
+// random numbers and schedules zero timers — which is what keeps
+// chaos-off runs byte-identical to a build without the subsystem.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"protean/internal/obs"
+	"protean/internal/sim"
+)
+
+// RetryPolicy bounds the deterministic exponential backoff applied to
+// retryable failures (cold-start/dispatch failures).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts allowed, including
+	// the first (default 5). The work is dropped once exhausted.
+	MaxAttempts int
+	// Base is the backoff before the first retry in seconds
+	// (default 0.5).
+	Base float64
+	// Factor multiplies the backoff per attempt (default 2).
+	Factor float64
+	// Cap bounds a single backoff in seconds (default 8).
+	Cap float64
+	// JitterFrac spreads each backoff uniformly within ±JitterFrac of
+	// its nominal value, drawn from the injector's seeded RNG
+	// (default 0.2; set negative for none).
+	JitterFrac float64
+}
+
+func (p *RetryPolicy) applyDefaults() {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.Base <= 0 {
+		p.Base = 0.5
+	}
+	if p.Factor < 1 {
+		p.Factor = 2
+	}
+	if p.Cap <= 0 {
+		p.Cap = 8
+	}
+	if p.JitterFrac == 0 {
+		p.JitterFrac = 0.2
+	}
+}
+
+// Config selects which faults to inject and how often. The zero value
+// is fully disabled; DefaultConfig returns the reference fault mix the
+// chaos experiment sweeps.
+type Config struct {
+	// Enabled is the master switch. When false the injector is nil and
+	// the run is bit-for-bit identical to one without chaos.
+	Enabled bool
+
+	// SliceFailRate is the per-node Poisson rate (faults/second) of
+	// Xid-style slice failures.
+	SliceFailRate float64
+	// SliceRepair is the slice repair window in seconds (default 15).
+	SliceRepair float64
+
+	// ReconfigStuckProb is the probability a MIG reconfiguration gets
+	// stuck and takes ReconfigStuckFactor times the normal downtime.
+	ReconfigStuckProb float64
+	// ReconfigStuckFactor is the downtime stretch of a stuck
+	// reconfiguration (default 5).
+	ReconfigStuckFactor float64
+	// ReconfigAbortProb is the probability a reconfiguration fails
+	// outright: the downtime is still paid but the old geometry rolls
+	// back.
+	ReconfigAbortProb float64
+
+	// StragglerProb is the per-batch probability of a service-time
+	// spike.
+	StragglerProb float64
+	// StragglerFactor multiplies a straggler batch's execution time
+	// (default 4).
+	StragglerFactor float64
+
+	// ColdStartFailProb is the probability a container load fails
+	// after paying its boot delay and must be retried.
+	ColdStartFailProb float64
+
+	// StormRate is the Poisson rate (storms/second) of correlated
+	// spot-preemption storms.
+	StormRate float64
+	// StormFraction is the fraction of live spot nodes that receive a
+	// revocation notice in one storm (default 0.5, capped at 1).
+	StormFraction float64
+
+	// Retry is the backoff policy for retryable failures.
+	Retry RetryPolicy
+}
+
+// DefaultConfig is the reference fault mix of the chaos experiment:
+// every fault kind active at a rate that visibly stresses a 60 s run
+// without collapsing it.
+func DefaultConfig() Config {
+	return Config{
+		Enabled:             true,
+		SliceFailRate:       0.01,
+		SliceRepair:         15,
+		ReconfigStuckProb:   0.3,
+		ReconfigStuckFactor: 5,
+		ReconfigAbortProb:   0.15,
+		StragglerProb:       0.02,
+		StragglerFactor:     4,
+		ColdStartFailProb:   0.2,
+		StormRate:           0.03,
+		StormFraction:       0.5,
+	}
+}
+
+// Scaled multiplies every fault rate and probability by f, capping
+// probabilities at 1. Severity knobs (repair window, stretch and
+// straggler factors, retry policy) are left alone, so a sweep over f
+// varies how often faults strike, not how hard. f = 0 keeps chaos
+// enabled but fault-free — the control row of a sweep.
+func (c Config) Scaled(f float64) Config {
+	if f < 0 {
+		f = 0
+	}
+	c.SliceFailRate *= f
+	c.ReconfigStuckProb = capProb(c.ReconfigStuckProb * f)
+	c.ReconfigAbortProb = capProb(c.ReconfigAbortProb * f)
+	c.StragglerProb = capProb(c.StragglerProb * f)
+	c.ColdStartFailProb = capProb(c.ColdStartFailProb * f)
+	c.StormRate *= f
+	return c
+}
+
+func capProb(p float64) float64 {
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Validate rejects configurations outside the model's domain.
+func (c Config) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.SliceFailRate < 0 || c.StormRate < 0 {
+		return fmt.Errorf("chaos: negative fault rate (slice %v, storm %v)", c.SliceFailRate, c.StormRate)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"ReconfigStuckProb", c.ReconfigStuckProb},
+		{"ReconfigAbortProb", c.ReconfigAbortProb},
+		{"StragglerProb", c.StragglerProb},
+		{"ColdStartFailProb", c.ColdStartFailProb},
+		{"StormFraction", c.StormFraction},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("chaos: %s %v out of [0, 1]", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+func (c *Config) applyDefaults() {
+	if c.SliceRepair <= 0 {
+		c.SliceRepair = 15
+	}
+	if c.ReconfigStuckFactor < 1 {
+		c.ReconfigStuckFactor = 5
+	}
+	if c.StragglerFactor < 1 {
+		c.StragglerFactor = 4
+	}
+	if c.StormFraction <= 0 {
+		c.StormFraction = 0.5
+	}
+	c.Retry.applyDefaults()
+}
+
+// Stats counts the faults and resilience actions of one run.
+type Stats struct {
+	// SliceFaults is the number of injected slice failures.
+	SliceFaults int `json:"sliceFaults"`
+	// Storms is the number of preemption storms fired.
+	Storms int `json:"storms"`
+	// StormNotices is the total revocation notices storms forced.
+	StormNotices int `json:"stormNotices"`
+	// StuckReconfigs counts reconfigurations whose downtime stretched.
+	StuckReconfigs int `json:"stuckReconfigs"`
+	// AbortedReconfigs counts reconfigurations that rolled back.
+	AbortedReconfigs int `json:"abortedReconfigs"`
+	// Stragglers counts batches hit by a service-time spike.
+	Stragglers int `json:"stragglers"`
+	// ColdStartFailures counts failed container loads.
+	ColdStartFailures int `json:"coldStartFailures"`
+	// Retries counts backoff retries granted after failures.
+	Retries int `json:"retries"`
+}
+
+// Targets is the cluster-side surface faults are delivered through.
+// Implementations route each fault to the affected node and own the
+// resulting resilience actions (orphan re-enqueue, degradation).
+type Targets interface {
+	// InjectSliceFault takes one MIG slice offline on the given node.
+	// pick in [0, 1) selects the victim slice; repair is the offline
+	// window in seconds.
+	InjectSliceFault(node int, pick, repair float64)
+	// InjectStorm forces revocation notices on a fraction of the live
+	// spot nodes, returning how many notices were issued.
+	InjectStorm(frac float64) int
+}
+
+// Injector schedules faults on the simulation clock and answers the
+// per-decision fault queries threaded into the runtime layers. A nil
+// *Injector is valid and means "chaos disabled": every query method
+// returns the no-fault decision without drawing randomness.
+type Injector struct {
+	cfg Config
+	sim *sim.Sim
+	rng *rand.Rand
+
+	targets Targets
+	nodes   int
+
+	sliceTimer *sim.Timer
+	stormTimer *sim.Timer
+	stopped    bool
+
+	stats Stats
+}
+
+// New builds an injector, or nil when cfg.Enabled is false. The
+// injector's RNG is seeded with a single draw from the simulation's
+// stream, taken here — the only draw chaos ever makes from it — so the
+// fault schedule is independent of cluster activity yet fully
+// determined by the run's seed.
+func New(s *sim.Sim, cfg Config) (*Injector, error) {
+	if !cfg.Enabled {
+		return nil, nil
+	}
+	if s == nil {
+		return nil, errors.New("chaos: nil sim")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.applyDefaults()
+	return &Injector{
+		cfg: cfg,
+		sim: s,
+		rng: rand.New(rand.NewSource(s.Rand().Int63())),
+	}, nil
+}
+
+// Start arms the Poisson fault processes against t. nodes is the
+// worker count slice failures are spread across. Safe on nil.
+func (inj *Injector) Start(t Targets, nodes int) {
+	if inj == nil || inj.stopped {
+		return
+	}
+	inj.targets = t
+	inj.nodes = nodes
+	if inj.cfg.SliceFailRate > 0 && nodes > 0 {
+		inj.armSliceFault()
+	}
+	if inj.cfg.StormRate > 0 {
+		inj.armStorm()
+	}
+}
+
+// Stop cancels pending fault timers and neutralizes every later query:
+// the cluster calls it at the trace horizon so the post-horizon drain
+// terminates (a live Poisson process would re-arm forever) and drains
+// under fault-free conditions. Safe on nil.
+func (inj *Injector) Stop() {
+	if inj == nil || inj.stopped {
+		return
+	}
+	inj.stopped = true
+	if inj.sliceTimer != nil {
+		inj.sliceTimer.Cancel()
+		inj.sliceTimer = nil
+	}
+	if inj.stormTimer != nil {
+		inj.stormTimer.Cancel()
+		inj.stormTimer = nil
+	}
+}
+
+// Stats returns the fault counters accumulated so far. Safe on nil
+// (returns zeros).
+func (inj *Injector) Stats() Stats {
+	if inj == nil {
+		return Stats{}
+	}
+	return inj.stats
+}
+
+// armSliceFault schedules the next slice failure: a Poisson process at
+// SliceFailRate per node, aggregated across nodes, with a uniform
+// victim node and slice pick drawn per event.
+func (inj *Injector) armSliceFault() {
+	rate := inj.cfg.SliceFailRate * float64(inj.nodes)
+	delay := inj.rng.ExpFloat64() / rate
+	inj.sliceTimer = inj.sim.MustAfter(delay, func() {
+		if inj.stopped {
+			return
+		}
+		node := inj.rng.Intn(inj.nodes)
+		pick := inj.rng.Float64()
+		inj.stats.SliceFaults++
+		inj.targets.InjectSliceFault(node, pick, inj.cfg.SliceRepair)
+		inj.armSliceFault()
+	})
+}
+
+// armStorm schedules the next correlated preemption storm.
+func (inj *Injector) armStorm() {
+	delay := inj.rng.ExpFloat64() / inj.cfg.StormRate
+	inj.stormTimer = inj.sim.MustAfter(delay, func() {
+		if inj.stopped {
+			return
+		}
+		n := inj.targets.InjectStorm(inj.cfg.StormFraction)
+		inj.stats.Storms++
+		inj.stats.StormNotices += n
+		inj.emit(obs.KindFaultInject, -1, 0, "preemption-storm", float64(n))
+		inj.armStorm()
+	})
+}
+
+// SampleReconfig decides the fate of one MIG reconfiguration as its
+// downtime begins: the downtime multiplier (1 when healthy) and
+// whether the geometry change aborts and rolls back. Implements the
+// gpu engine's ReconfigFaults hook. Safe on nil.
+func (inj *Injector) SampleReconfig(node int) (stretch float64, abort bool) {
+	if inj == nil || inj.stopped {
+		return 1, false
+	}
+	stretch = 1
+	if inj.rng.Float64() < inj.cfg.ReconfigStuckProb {
+		stretch = inj.cfg.ReconfigStuckFactor
+		inj.stats.StuckReconfigs++
+		inj.emit(obs.KindFaultInject, node, 0, "reconfig-stuck", stretch)
+	}
+	if inj.rng.Float64() < inj.cfg.ReconfigAbortProb {
+		abort = true
+		inj.stats.AbortedReconfigs++
+		inj.emit(obs.KindFaultInject, node, 0, "reconfig-abort", 0)
+	}
+	return stretch, abort
+}
+
+// Straggler samples the service-time multiplier for one batch: 1 for a
+// healthy batch, StragglerFactor for a spike. Safe on nil.
+func (inj *Injector) Straggler(node int, batch uint64) float64 {
+	if inj == nil || inj.stopped {
+		return 1
+	}
+	if inj.rng.Float64() >= inj.cfg.StragglerProb {
+		return 1
+	}
+	inj.stats.Stragglers++
+	inj.emit(obs.KindFaultInject, node, batch, "straggler", inj.cfg.StragglerFactor)
+	return inj.cfg.StragglerFactor
+}
+
+// ColdStartFailure samples whether a container load fails after its
+// boot delay. Safe on nil.
+func (inj *Injector) ColdStartFailure(node int, batch uint64) bool {
+	if inj == nil || inj.stopped {
+		return false
+	}
+	if inj.rng.Float64() >= inj.cfg.ColdStartFailProb {
+		return false
+	}
+	inj.stats.ColdStartFailures++
+	inj.emit(obs.KindFaultInject, node, batch, "cold-start-failure", 0)
+	return true
+}
+
+// RetryDelay grants (or denies) retry number attempt — attempt counts
+// failures so far, starting at 1 — returning the backoff to wait. The
+// delay grows exponentially from Retry.Base, is capped at Retry.Cap,
+// and carries deterministic uniform jitter. Safe on nil: a disabled
+// injector denies every retry, but callers only reach here after a
+// failure the same injector produced.
+func (inj *Injector) RetryDelay(attempt int) (delay float64, ok bool) {
+	if inj == nil || attempt >= inj.cfg.Retry.MaxAttempts {
+		return 0, false
+	}
+	pol := inj.cfg.Retry
+	d := pol.Base * math.Pow(pol.Factor, float64(attempt-1))
+	if d > pol.Cap {
+		d = pol.Cap
+	}
+	if pol.JitterFrac > 0 {
+		d *= 1 + pol.JitterFrac*(2*inj.rng.Float64()-1)
+	}
+	inj.stats.Retries++
+	return d, true
+}
+
+// emit traces one chaos event when tracing is enabled.
+func (inj *Injector) emit(kind obs.Kind, node int, batch uint64, detail string, value float64) {
+	tr := inj.sim.Tracer()
+	if !tr.Enabled() {
+		return
+	}
+	ev := obs.At(inj.sim.Now(), kind)
+	ev.Node = node
+	ev.Batch = batch
+	ev.Detail = detail
+	ev.Value = value
+	tr.Emit(ev)
+}

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"protean/internal/autoscale"
+	"protean/internal/chaos"
 	"protean/internal/core"
 	"protean/internal/gpu"
 	"protean/internal/metrics"
@@ -59,6 +60,10 @@ type Config struct {
 	// VM optionally enables the spot/on-demand fleet; its Nodes and
 	// Listener fields are managed by the cluster.
 	VM *vm.Config
+	// Chaos configures deterministic fault injection (off by default).
+	// When disabled the run is byte-identical to one without the chaos
+	// subsystem: no RNG draws, no timers, no extra events.
+	Chaos chaos.Config
 	// Arch selects the GPU generation (nil: the paper's A100-40GB).
 	// Policies keep planning in A100 profile names; geometries are
 	// translated by slot prefix, so an H100 fleet gets 80 GB slices.
@@ -131,13 +136,21 @@ type Cluster struct {
 	dropped       int
 	notices       int
 
+	chaos     *chaos.Injector
+	offered   int
+	completed int
+	requeued  int
+
 	// Oracle support: per-window upcoming BE load, precomputed from the
 	// full trace.
 	windowBEBatches []int
 	windowBEMem     []float64
 }
 
-var _ vm.Listener = (*Cluster)(nil)
+var (
+	_ vm.Listener   = (*Cluster)(nil)
+	_ chaos.Targets = (*Cluster)(nil)
+)
 
 // New builds a cluster on the given simulator.
 func New(s *sim.Sim, cfg Config) (*Cluster, error) {
@@ -159,6 +172,14 @@ func New(s *sim.Sim, cfg Config) (*Cluster, error) {
 	}
 	c.budget = budget
 
+	// nil when disabled; every use below is nil-guarded, so a
+	// chaos-off run takes the exact pre-chaos code paths.
+	inj, err := chaos.New(s, cfg.Chaos)
+	if err != nil {
+		return nil, err
+	}
+	c.chaos = inj
+
 	arch := gpu.ArchA100()
 	if cfg.Arch != nil {
 		arch = *cfg.Arch
@@ -178,6 +199,9 @@ func New(s *sim.Sim, cfg Config) (*Cluster, error) {
 			if d, set := ov.ReconfigDowntime(); set {
 				g.ReconfigDowntime = d
 			}
+		}
+		if c.chaos != nil {
+			g.Faults = c.chaos
 		}
 		scaler, err := autoscale.NewScaler(s, cfg.Scaler)
 		if err != nil {
@@ -253,6 +277,13 @@ type Result struct {
 	Dropped int
 	// EvictionNotices counts spot revocation notices received (§4.5).
 	EvictionNotices int
+	// ReconfigAborts counts geometry changes that faulted and rolled
+	// back (zero without chaos).
+	ReconfigAborts int
+	// Availability tallies offered/completed/dropped/requeued requests.
+	Availability metrics.Availability
+	// Chaos reports injected-fault counters (nil when chaos is off).
+	Chaos *chaos.Stats
 }
 
 // Run replays a request trace and drains the system. duration is the
@@ -272,6 +303,7 @@ func (c *Cluster) Run(reqs []trace.Request, duration float64) (*Result, error) {
 		if req.Arrival >= duration {
 			break
 		}
+		c.offered++
 		req := req
 		if _, err := c.sim.At(req.Arrival, func() {
 			if err := c.batcher.Add(req); err != nil {
@@ -281,6 +313,7 @@ func (c *Cluster) Run(reqs []trace.Request, duration float64) (*Result, error) {
 			return nil, err
 		}
 	}
+	c.chaos.Start(c, c.cfg.Nodes)
 	monitor, err := c.sim.Every(c.cfg.MonitorInterval, c.monitorTick)
 	if err != nil {
 		return nil, err
@@ -290,9 +323,12 @@ func (c *Cluster) Run(reqs []trace.Request, duration float64) (*Result, error) {
 	if err := c.sim.RunUntil(duration); err != nil {
 		return nil, err
 	}
-	// Freeze the world: stop metering, stop new revocations, flush
-	// partial batches, then drain in-flight work.
+	// Freeze the world: stop metering, stop new revocations and new
+	// faults, flush partial batches, then drain in-flight work. The
+	// injector must stop here or its self-re-arming Poisson timers
+	// would keep the drain alive forever.
 	c.monitor.Stop()
+	c.chaos.Stop()
 	start := 0.0
 	var cost *vm.CostReport
 	if c.fleet != nil {
@@ -316,7 +352,7 @@ func (c *Cluster) Run(reqs []trace.Request, duration float64) (*Result, error) {
 	}
 
 	computeSum, memSum, busySum := 0.0, 0.0, 0.0
-	coldStarts, reconfigs := 0, 0
+	coldStarts, reconfigs, aborts := 0, 0, 0
 	for _, n := range c.nodes {
 		cu, mu := n.gpu.Utilization()
 		computeSum += cu
@@ -324,6 +360,21 @@ func (c *Cluster) Run(reqs []trace.Request, duration float64) (*Result, error) {
 		busySum += n.gpu.BusyFraction()
 		coldStarts += n.scaler.ColdStarts()
 		reconfigs += n.gpu.ReconfigCount()
+		aborts += n.gpu.ReconfigAborts()
+	}
+	var chaosStats *chaos.Stats
+	if c.chaos != nil {
+		st := c.chaos.Stats()
+		chaosStats = &st
+	}
+	avail := metrics.Availability{
+		Offered:   c.offered,
+		Completed: c.completed,
+		Dropped:   c.dropped,
+		Requeued:  c.requeued,
+	}
+	if chaosStats != nil {
+		avail.Retries = chaosStats.Retries
 	}
 	return &Result{
 		Recorder:        c.recorder,
@@ -338,6 +389,9 @@ func (c *Cluster) Run(reqs []trace.Request, duration float64) (*Result, error) {
 		Timeline:        c.timeline,
 		Dropped:         c.dropped,
 		EvictionNotices: c.notices,
+		ReconfigAborts:  aborts,
+		Availability:    avail,
+		Chaos:           chaosStats,
 	}, nil
 }
 
@@ -493,6 +547,13 @@ func (n *node) accept(b *queue.Batch) {
 		ev.Requests = b.Size()
 		tr.Emit(ev)
 	}
+	n.acquire(b, 1)
+}
+
+// acquire obtains a container for the batch. attempt numbers this try
+// (1-based) across injected cold-start failures; without chaos it is
+// always 1 and the flow is the classic acquire→(cold start)→ready.
+func (n *node) acquire(b *queue.Batch, attempt int) {
 	cold, err := n.scaler.Acquire(b.Model.Name())
 	if err != nil {
 		// Defensive: Acquire only fails on empty names.
@@ -509,10 +570,42 @@ func (n *node) accept(b *queue.Batch) {
 			ev.Value = cold
 			tr.Emit(ev)
 		}
+		if n.cluster.chaos.ColdStartFailure(n.id, b.ID) {
+			// The load fails only after the boot delay was paid.
+			n.cluster.sim.MustAfter(cold, func() { n.coldStartFailed(b, attempt) })
+			return
+		}
 		n.cluster.sim.MustAfter(cold, func() { n.ready(b, cold) })
 		return
 	}
 	n.ready(b, 0)
+}
+
+// coldStartFailed handles an injected container-load failure: the
+// half-booted container is torn down and the batch retries under
+// bounded exponential backoff, dropping once the budget is exhausted.
+func (n *node) coldStartFailed(b *queue.Batch, attempt int) {
+	if err := n.scaler.Abort(b.Model.Name()); err != nil {
+		// Defensive: indicates an accounting bug.
+		_ = err
+	}
+	delay, ok := n.cluster.chaos.RetryDelay(attempt)
+	if !ok {
+		n.outstanding--
+		n.cluster.drop(n.id, b.ID, b.Size())
+		return
+	}
+	if tr := n.cluster.sim.Tracer(); tr.Enabled() {
+		ev := obs.At(n.cluster.sim.Now(), obs.KindRetry)
+		ev.Node = n.id
+		ev.Batch = b.ID
+		ev.Model = b.Model.Name()
+		ev.Strict = b.Strict
+		ev.Value = delay
+		ev.Requests = attempt
+		tr.Emit(ev)
+	}
+	n.cluster.sim.MustAfter(delay, func() { n.acquire(b, attempt+1) })
 }
 
 // drop abandons work, counting its requests and tracing the loss.
@@ -543,18 +636,23 @@ func (n *node) place(b *queue.Batch, cold float64) error {
 	if err != nil {
 		return err
 	}
+	jitter := n.cluster.serviceJitter()
+	// An injected straggler spikes this batch's service time on top of
+	// the ordinary lognormal variability.
+	jitter *= n.cluster.chaos.Straggler(n.id, b.ID)
 	job := &gpu.Job{
 		W:         b.Model,
 		Strict:    b.Strict,
 		Requests:  b.Size(),
 		SMFrac:    n.policy.SMCap(b.Strict),
 		Scale:     batchScale(b),
-		Jitter:    n.cluster.serviceJitter(),
+		Jitter:    jitter,
 		Enqueued:  n.cluster.sim.Now(),
 		ColdStart: cold,
 		TraceID:   b.ID,
 	}
 	job.OnDone = func(j *gpu.Job) { n.complete(b, j) }
+	job.OnFail = func(j *gpu.Job) { n.jobFailed(b, j) }
 	if err := sl.Submit(job); err != nil {
 		return err
 	}
@@ -565,6 +663,7 @@ func (n *node) place(b *queue.Batch, cold float64) error {
 // container.
 func (n *node) complete(b *queue.Batch, j *gpu.Job) {
 	n.outstanding--
+	n.cluster.completed += b.Size()
 	if err := n.scaler.Release(b.Model.Name()); err != nil {
 		// Defensive: indicates an accounting bug; drop silently in
 		// production runs.
@@ -592,6 +691,73 @@ func (n *node) complete(b *queue.Batch, j *gpu.Job) {
 		})
 	}
 	n.pumpHeld()
+}
+
+// jobFailed reroutes a batch whose job was killed or displaced by an
+// injected slice failure: the container reservation is released and
+// the batch re-enters global dispatch — strict always; best-effort
+// only while no work is already waiting for a node, so under fault
+// pressure BE is shed to protect strict deadlines.
+func (n *node) jobFailed(b *queue.Batch, j *gpu.Job) {
+	n.outstanding--
+	if err := n.scaler.Release(b.Model.Name()); err != nil {
+		// Defensive: indicates an accounting bug.
+		_ = err
+	}
+	if !b.Strict && len(n.cluster.pendingGlobal) > 0 {
+		n.cluster.drop(n.id, b.ID, b.Size())
+		return
+	}
+	n.cluster.requeued += b.Size()
+	if tr := n.cluster.sim.Tracer(); tr.Enabled() {
+		ev := obs.At(n.cluster.sim.Now(), obs.KindOrphanRequeue)
+		ev.Node = n.id
+		ev.Batch = b.ID
+		ev.Model = b.Model.Name()
+		ev.Strict = b.Strict
+		ev.Requests = b.Size()
+		tr.Emit(ev)
+	}
+	n.cluster.dispatch(b)
+}
+
+// InjectSliceFault implements chaos.Targets: fail one MIG slice on the
+// node and reroute the orphaned batches, strict work first so the
+// degraded capacity serves deadline work ahead of best effort.
+func (c *Cluster) InjectSliceFault(nodeID int, pick, repair float64) {
+	if nodeID < 0 || nodeID >= len(c.nodes) {
+		return
+	}
+	n := c.nodes[nodeID]
+	killed, displaced := n.gpu.FailSlice(pick, repair)
+	orphans := append(killed, displaced...)
+	for _, j := range orphans {
+		if j.Strict && j.OnFail != nil {
+			j.OnFail(j)
+		}
+	}
+	for _, j := range orphans {
+		if !j.Strict && j.OnFail != nil {
+			j.OnFail(j)
+		}
+	}
+	// FailSlice armed the repair timer just above, so this pump fires
+	// right after the slice reopens (same timestamp, later sequence)
+	// and the node resumes without waiting for the next monitor tick.
+	c.sim.MustAfter(repair, func() {
+		n.pumpHeld()
+		c.drainPendingGlobal()
+	})
+}
+
+// InjectStorm implements chaos.Targets: correlated revocation notices
+// delivered through the fleet. Without a fleet there are no spot VMs
+// to preempt and the storm dissipates.
+func (c *Cluster) InjectStorm(frac float64) int {
+	if c.fleet == nil {
+		return 0
+	}
+	return c.fleet.Storm(frac)
 }
 
 // pumpHeld retries batches that previously failed placement.
@@ -658,7 +824,7 @@ func (n *node) resubmit(j *gpu.Job) {
 		// batch callbacks, so retry on the next completion via held
 		// list is not possible; place on any fitting slice instead.
 		for _, cand := range n.gpu.Slices() {
-			if m.MemGB(cand.Prof) <= cand.Prof.MemGB {
+			if !cand.Failed() && m.MemGB(cand.Prof) <= cand.Prof.MemGB {
 				sl = cand
 				break
 			}

@@ -65,9 +65,12 @@ type Policy interface {
 // Factory builds one Policy instance per worker node.
 type Factory func() Policy
 
-// fits reports whether a batch of m can ever run on slice sl.
+// fits reports whether a batch of m can ever run on slice sl. Every
+// placement policy funnels through here, so the failed-slice check
+// routes all schemes around a slice that is offline for fault repair
+// (graceful degradation under the chaos subsystem).
 func fits(sl *gpu.Slice, m *model.Model) bool {
-	return m.MemGB(sl.Prof) <= sl.Prof.MemGB
+	return !sl.Failed() && m.MemGB(sl.Prof) <= sl.Prof.MemGB
 }
 
 // pendingBEMem totals the memory demand of best-effort jobs queued on

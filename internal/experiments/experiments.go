@@ -19,6 +19,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"protean/internal/chaos"
 	"protean/internal/cluster"
 	"protean/internal/core"
 	"protean/internal/gpu"
@@ -74,6 +75,10 @@ type Params struct {
 	// any run starts, so the merged trace is byte-identical at every
 	// Parallel setting.
 	Trace *obs.TraceSet
+	// Chaos is the default fault-injection config for every scenario
+	// (zero value: disabled — runs are byte-identical to a build
+	// without the chaos subsystem). Scenario.Chaos overrides it.
+	Chaos chaos.Config
 }
 
 // tracer registers a collector for a one-off (non-batch) scenario run;
@@ -172,6 +177,12 @@ type Scenario struct {
 	RotatePeriod float64
 	// Arch selects the GPU generation (nil: A100-40GB).
 	Arch *gpu.Arch
+	// Chaos overrides Params.Chaos for this scenario (nil: inherit).
+	// The config is copied before the run, so one value may be shared.
+	Chaos *chaos.Config
+	// NoPrewarm skips container pre-warming, so the run pays real cold
+	// starts (the chaos sweep uses this to exercise cold-start faults).
+	NoPrewarm bool
 }
 
 // runScenario generates the trace and executes one cluster run. tr, when
@@ -211,9 +222,12 @@ func runScenario(p Params, sc Scenario, tr obs.Tracer) (*cluster.Result, error) 
 		return nil, fmt.Errorf("experiments: generate trace: %w", err)
 	}
 
-	prewarm := append([]*model.Model{}, pool...)
-	if sc.Strict != nil {
-		prewarm = append(prewarm, sc.Strict)
+	var prewarm []*model.Model
+	if !sc.NoPrewarm {
+		prewarm = append(prewarm, pool...)
+		if sc.Strict != nil {
+			prewarm = append(prewarm, sc.Strict)
+		}
 	}
 	vmCfg := sc.VM
 	if vmCfg != nil {
@@ -221,6 +235,10 @@ func runScenario(p Params, sc Scenario, tr obs.Tracer) (*cluster.Result, error) 
 		// copy so concurrent scenarios never share one struct.
 		clone := *vmCfg
 		vmCfg = &clone
+	}
+	chaosCfg := p.Chaos
+	if sc.Chaos != nil {
+		chaosCfg = *sc.Chaos
 	}
 	s := sim.New(p.Seed)
 	if tr != nil {
@@ -235,6 +253,7 @@ func runScenario(p Params, sc Scenario, tr obs.Tracer) (*cluster.Result, error) 
 		PreWarmCount:  4,
 		VM:            vmCfg,
 		Arch:          sc.Arch,
+		Chaos:         chaosCfg,
 	})
 	if err != nil {
 		return nil, err
@@ -336,9 +355,23 @@ func Registry() []Experiment {
 	}
 }
 
-// ByID finds a registry entry.
+// Extras lists experiments that are not part of the paper reproduction
+// and therefore excluded from `-run all` (keeping its output stable):
+// currently the chaos fault sweep.
+func Extras() []Experiment {
+	return []Experiment{
+		{ID: "chaos", Title: "Extra: availability and cost under injected faults (chaos sweep)", Run: ChaosSweep},
+	}
+}
+
+// ByID finds a registry or extras entry.
 func ByID(id string) (Experiment, bool) {
 	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	for _, e := range Extras() {
 		if e.ID == id {
 			return e, true
 		}

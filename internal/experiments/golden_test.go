@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"strings"
 	"testing"
+
+	"protean/internal/chaos"
 )
 
 // fig2QuickGolden pins the SHA-256 of the fig2 quick-mode text report at
@@ -20,11 +22,75 @@ func TestFig2QuickGoldenHash(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a full quick-mode experiment; skipped in -short")
 	}
+	if got := fig2QuickHash(t, Params{Quick: true, Seed: 1, Parallel: 1}); got != fig2QuickGolden {
+		t.Errorf("fig2 quick report hash = %s, want %s\n"+
+			"The report bytes changed. If this is intentional, re-pin the"+
+			" golden hash in the same commit and explain the semantic change.", got, fig2QuickGolden)
+	}
+}
+
+// TestChaosDisabledIsByteIdentical is the chaos-off identity property:
+// a Config with Enabled false — even one carrying non-zero fault rates —
+// must leave the run bit-for-bit identical to a build without the chaos
+// subsystem, because the disabled path draws zero random numbers and
+// schedules zero timers. The pre-PR fig2 golden hash is the witness.
+func TestChaosDisabledIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full quick-mode experiment; skipped in -short")
+	}
+	off := chaos.DefaultConfig()
+	off.Enabled = false // rates stay non-zero: only the master switch is off
+	p := Params{Quick: true, Seed: 1, Parallel: 1, Chaos: off}
+	if got := fig2QuickHash(t, p); got != fig2QuickGolden {
+		t.Errorf("fig2 hash with chaos disabled = %s, want pre-chaos golden %s\n"+
+			"A disabled injector perturbed the simulation (RNG draw or timer leak).",
+			got, fig2QuickGolden)
+	}
+}
+
+// TestChaosReportParallelIdentity: the chaos fault sweep renders
+// byte-identically at -parallel 1 and -parallel 4, i.e. the fault
+// schedule is a pure function of the seed, independent of worker
+// scheduling.
+func TestChaosReportParallelIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the chaos sweep twice; skipped in -short")
+	}
+	render := func(parallel int) string {
+		e, ok := ByID("chaos")
+		if !ok {
+			t.Fatal("chaos experiment not registered")
+		}
+		report, err := RunReplicated(e, Params{Quick: true, Seed: 1, Parallel: parallel}, 1)
+		if err != nil {
+			t.Fatalf("run chaos (parallel %d): %v", parallel, err)
+		}
+		var sb strings.Builder
+		if err := report.RenderAs(&sb, FormatText); err != nil {
+			t.Fatalf("render: %v", err)
+		}
+		return sb.String()
+	}
+	seq, par := render(1), render(4)
+	if seq != par {
+		t.Error("chaos report differs between -parallel 1 and -parallel 4")
+	}
+	// Identity would be vacuous if the sweep injected nothing; the
+	// straggler columns are non-zero at every non-zero scale, so the
+	// rendered report must contain at least one fault counter > 0.
+	if !strings.Contains(seq, "stragglers") {
+		t.Error("chaos report missing the resilience-counters table")
+	}
+}
+
+// fig2QuickHash runs fig2 under p and hashes the rendered text report.
+func fig2QuickHash(t *testing.T, p Params) string {
+	t.Helper()
 	e, ok := ByID("fig2")
 	if !ok {
 		t.Fatal("fig2 experiment not registered")
 	}
-	report, err := RunReplicated(e, Params{Quick: true, Seed: 1, Parallel: 1}, 1)
+	report, err := RunReplicated(e, p, 1)
 	if err != nil {
 		t.Fatalf("run fig2: %v", err)
 	}
@@ -33,9 +99,5 @@ func TestFig2QuickGoldenHash(t *testing.T) {
 		t.Fatalf("render: %v", err)
 	}
 	sum := sha256.Sum256([]byte(sb.String()))
-	if got := hex.EncodeToString(sum[:]); got != fig2QuickGolden {
-		t.Errorf("fig2 quick report hash = %s, want %s\n"+
-			"The report bytes changed. If this is intentional, re-pin the"+
-			" golden hash in the same commit and explain the semantic change.", got, fig2QuickGolden)
-	}
+	return hex.EncodeToString(sum[:])
 }

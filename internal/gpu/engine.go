@@ -108,6 +108,12 @@ type Job struct {
 	ColdStart float64
 	// OnDone, if set, is invoked when the batch completes.
 	OnDone func(*Job)
+	// OnFail, if set, lets the owner reroute the batch when an injected
+	// slice failure kills or displaces the job before completion (the
+	// engine never invokes OnDone for such a job). The engine itself
+	// does not call OnFail; FailSlice returns the affected jobs and the
+	// caller dispatches them through this hook.
+	OnFail func(*Job)
 	// TraceID correlates the job's lifecycle events with the batch that
 	// produced it (queue.Batch.ID); 0 means untraced.
 	TraceID uint64
@@ -252,6 +258,7 @@ type Slice struct {
 	pending []*Job
 	usedMem float64
 	closed  bool
+	failed  bool
 
 	lastAccount  float64
 	busyIntegral float64
@@ -286,6 +293,11 @@ func (sl *Slice) Pending() []*Job {
 
 // Load returns the number of running plus pending jobs.
 func (sl *Slice) Load() int { return len(sl.running) + len(sl.pending) }
+
+// Failed reports whether the slice is offline for fault repair.
+// Placement policies skip failed slices (graceful degradation); the
+// slice reopens automatically once its repair window elapses.
+func (sl *Slice) Failed() bool { return sl.failed }
 
 // TotalFBR is the summed effective FBR of the jobs currently running on
 // the slice — the contention term of Eq. (1). Running jobs always carry
@@ -640,6 +652,17 @@ func (sl *Slice) drain() []*Job {
 	return displaced
 }
 
+// ReconfigFaults supplies fault decisions for MIG reconfigurations.
+// The engine consults it exactly once per reconfiguration, at the
+// moment the drain completes and downtime begins: stretch multiplies
+// the downtime (1 = healthy, k = stuck), and abort makes the geometry
+// change fail — the downtime is still paid, but the previous geometry
+// is reinstalled. Implemented by *chaos.Injector; a nil Faults field
+// means no reconfiguration ever faults.
+type ReconfigFaults interface {
+	SampleReconfig(node int) (stretch float64, abort bool)
+}
+
 // GPU is one physical accelerator: a set of MIG slices under a geometry,
 // plus the reconfiguration state machine.
 type GPU struct {
@@ -655,6 +678,9 @@ type GPU struct {
 	// InterferenceAmp is the cross-interference amplification factor κ
 	// (DefaultInterferenceAmp unless overridden).
 	InterferenceAmp float64
+	// Faults, when non-nil, injects reconfiguration faults (chaos
+	// subsystem). Consulted once per geometry change as downtime begins.
+	Faults ReconfigFaults
 
 	sim      *sim.Sim
 	arch     *Arch
@@ -666,10 +692,12 @@ type GPU struct {
 
 	reconfiguring  bool
 	pendingGeom    Geometry
+	pendingAbort   bool
 	displaced      []*Job
 	onReady        func(displaced []*Job)
 	createdAt      float64
 	reconfigCount  int
+	reconfigAborts int
 	downtimeTotal  float64
 	downtimeStart  float64
 	busyBeforeGeom float64 // slot-weighted busy integral of retired slices
@@ -742,6 +770,10 @@ func (g *GPU) Reconfiguring() bool { return g.reconfiguring }
 // ReconfigCount returns the number of completed geometry changes.
 func (g *GPU) ReconfigCount() int { return g.reconfigCount }
 
+// ReconfigAborts returns the number of geometry changes that faulted
+// and rolled back (injected reconfiguration aborts).
+func (g *GPU) ReconfigAborts() int { return g.reconfigAborts }
+
 // Busy reports whether any slice has running or pending jobs.
 func (g *GPU) Busy() bool {
 	for _, sl := range g.slices {
@@ -806,8 +838,22 @@ func (g *GPU) maybeBeginDowntime() {
 		}
 	}
 	g.downtimeStart = g.sim.Now()
-	g.retireSlices()
 	downtime := g.ReconfigDowntime
+	// Sample reconfiguration faults exactly once, at the instant the
+	// drain completes: a stuck reconfiguration stretches the downtime,
+	// an aborted one rolls the pending geometry back to the current one
+	// (the downtime is still paid — the failed attempt blocked the GPU).
+	if g.Faults != nil {
+		stretch, abort := g.Faults.SampleReconfig(g.ID)
+		if stretch > 1 {
+			downtime *= stretch
+		}
+		if abort {
+			g.pendingAbort = true
+			g.pendingGeom = g.geometry.Clone()
+		}
+	}
+	g.retireSlices()
 	g.sim.MustAfter(downtime, g.finishReconfig)
 }
 
@@ -826,7 +872,12 @@ func (g *GPU) finishReconfig() {
 	g.downtimeTotal += g.sim.Now() - g.downtimeStart
 	g.installGeometry(g.pendingGeom)
 	g.reconfiguring = false
-	g.reconfigCount++
+	if g.pendingAbort {
+		g.pendingAbort = false
+		g.reconfigAborts++
+	} else {
+		g.reconfigCount++
+	}
 	if tr := g.sim.Tracer(); tr.Enabled() {
 		ev := obs.At(g.sim.Now(), obs.KindReconfigEnd)
 		ev.Node = g.ID

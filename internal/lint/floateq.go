@@ -5,6 +5,7 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // FloateqAnalyzer flags == and != between floating-point operands in
@@ -14,14 +15,15 @@ import (
 // tolerance. Comparisons against an exact zero constant are exempt —
 // `if x == 0` guarding a division is well-defined and epsilon-comparing
 // it would be wrong.
+//
+// Outside internal/ the rule narrows to probability- and rate-named
+// operands (prob, rate, frac): fault-injection knobs travel into cmd/
+// flag parsing, and comparing them exactly is the same hazard there.
 func FloateqAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "floateq",
-		Doc:  "flag ==/!= on floats in internal/ packages; use mathx.AlmostEqual or an explicit tolerance",
+		Doc:  "flag ==/!= on floats in internal/ (and on prob/rate/frac-named floats anywhere); use mathx.AlmostEqual or an explicit tolerance",
 		Run: func(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
-			if !pkg.Internal {
-				return
-			}
 			for _, f := range pkg.Files {
 				ast.Inspect(f, func(n ast.Node) bool {
 					be, ok := n.(*ast.BinaryExpr)
@@ -34,12 +36,41 @@ func FloateqAnalyzer() *Analyzer {
 					if isZeroConst(pkg.Info, be.X) || isZeroConst(pkg.Info, be.Y) {
 						return true
 					}
+					if !pkg.Internal && !namesProbability(be.X) && !namesProbability(be.Y) {
+						return true
+					}
 					report(be.OpPos, "floating-point %s comparison is exact; use mathx.AlmostEqual (internal/mathx) or an explicit tolerance", be.Op)
 					return true
 				})
 			}
 		},
 	}
+}
+
+// namesProbability reports whether the expression's identifier chain
+// mentions a probability-like name. Matching is substring-based over
+// lowercased identifiers so SliceFailRate, stragglerProb, JitterFrac
+// and plain `rate` all qualify.
+func namesProbability(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		name := strings.ToLower(id.Name)
+		for _, kw := range []string{"prob", "rate", "frac"} {
+			if strings.Contains(name, kw) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
 }
 
 func isFloat(info *types.Info, e ast.Expr) bool {

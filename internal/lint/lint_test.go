@@ -113,6 +113,38 @@ func TestFloateqFixture(t *testing.T) {
 	checkFixture(t, "floateq", "fixturemod/internal/floateq", FloateqAnalyzer())
 }
 
+// TestFloateqProbabilityOutsideInternal: outside internal/ the rule
+// narrows to probability/rate/fraction-named operands — chaos knobs
+// compared exactly in cmd/ code are flagged, plain floats are not.
+func TestFloateqProbabilityOutsideInternal(t *testing.T) {
+	dir := filepath.Join("testdata", "floateqcmd")
+	l := fixtureLoader(dir)
+	pkg, err := l.LoadDir(dir, "fixturemod/cmd/floateqcmd")
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	findings := Run([]*Package{pkg}, []*Analyzer{FloateqAnalyzer()})
+	got := map[string]bool{}
+	for _, f := range findings {
+		if f.Rule != "floateq" {
+			t.Errorf("unexpected rule %q in finding %s", f.Rule, f)
+			continue
+		}
+		got[fmt.Sprintf("%s:%d", f.File, f.Line)] = true
+	}
+	want := wantLines(t, dir, "floateq")
+	for loc := range want {
+		if !got[loc] {
+			t.Errorf("%s: expected a floateq finding, got none", loc)
+		}
+	}
+	for loc := range got {
+		if !want[loc] {
+			t.Errorf("%s: unexpected floateq finding", loc)
+		}
+	}
+}
+
 func TestErrignoreFixture(t *testing.T) {
 	checkFixture(t, "errignore", "fixturemod/errignore", ErrignoreAnalyzer())
 }

@@ -14,6 +14,10 @@ func badMixedConst(a float64) bool {
 	return a == 0.25 // want:floateq
 }
 
+func badProbName(coldStartFailProb float64) bool {
+	return coldStartFailProb == 1 // want:floateq
+}
+
 func goodZeroGuard(x float64) float64 {
 	if x == 0 { // ok: exact zero guard before division
 		return 0

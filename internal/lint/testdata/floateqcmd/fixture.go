@@ -1,0 +1,43 @@
+// Package fixture exercises the floateq analyzer outside internal/:
+// only probability/rate/fraction-named operands are policed there.
+package fixture
+
+func badProbFlag(chaosFailProb float64) bool {
+	return chaosFailProb == 0.5 // want:floateq
+}
+
+func badRatePair(sliceFailRate, stormRate float64) bool {
+	return sliceFailRate != stormRate // want:floateq
+}
+
+type knobs struct {
+	StragglerProb float64
+	JitterFrac    float64
+}
+
+func badProbField(k knobs) bool {
+	return k.StragglerProb == 1 // want:floateq
+}
+
+func badFrac(k knobs, v float64) bool {
+	return v == k.JitterFrac // want:floateq
+}
+
+func goodPlainFloats(a, b float64) bool {
+	return a == b // ok: outside internal/, unnamed floats are not policed
+}
+
+func goodZeroGuard(prob float64) bool {
+	if prob == 0 { // ok: exact zero guard stays exempt everywhere
+		return false
+	}
+	return true
+}
+
+func goodOrdering(stormRate float64) bool {
+	return stormRate > 0.5 // ok: ordering comparisons are fine
+}
+
+func goodIntRate(rateLimit int) bool {
+	return rateLimit == 3 // ok: integer equality is exact
+}

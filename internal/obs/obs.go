@@ -78,6 +78,21 @@ const (
 	// KindDrop is work abandoned because no node or slice could take it
 	// (Requests = dropped request count).
 	KindDrop
+	// KindFaultInject is an injected fault firing (chaos subsystem).
+	// Detail names the fault kind ("slice-failure", "reconfig-stuck",
+	// "reconfig-abort", "straggler", "cold-start-failure",
+	// "preemption-storm"); Value is kind-specific (repair window,
+	// stretch factor, notice count).
+	KindFaultInject
+	// KindRetry is a failed operation re-attempted after backoff
+	// (Value = backoff seconds, Requests = attempt number).
+	KindRetry
+	// KindRepair is a failed slice coming back online after its repair
+	// window.
+	KindRepair
+	// KindOrphanRequeue is a batch orphaned by slice or node loss
+	// re-entering dispatch (Requests = request count).
+	KindOrphanRequeue
 )
 
 // kindNames indexes Kind.String; order must match the constants.
@@ -97,6 +112,10 @@ var kindNames = [...]string{
 	KindVMDown:        "vm-down",
 	KindAutoscale:     "autoscale",
 	KindDrop:          "drop",
+	KindFaultInject:   "fault-inject",
+	KindRetry:         "retry",
+	KindRepair:        "repair",
+	KindOrphanRequeue: "orphan-requeue",
 }
 
 // String implements fmt.Stringer.

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"protean/internal/model"
+)
+
+// FuzzGenerate drives the arrival generator with arbitrary seeds, rates
+// and durations and checks the invariants every consumer relies on:
+// arrivals sorted strictly ascending inside [0, duration), sequential
+// IDs, no arrivals where the rate function is zero (thinning), and a
+// total count bounded by the rate envelope.
+//
+// Run with: go test -fuzz FuzzGenerate ./internal/trace
+func FuzzGenerate(f *testing.F) {
+	f.Add(int64(1), 100.0, 50.0, 30.0, 0.5)
+	f.Add(int64(42), 9000.0, 1.0, 60.0, 0.0)
+	f.Add(int64(-7), 0.3, 2000.0, 5.0, 1.0)
+	f.Add(int64(0), 10.0, 10.0, 119.0, 0.25)
+	f.Fuzz(func(t *testing.T, seed int64, r1, r2, dur, strictFrac float64) {
+		// Clamp the fuzzed inputs into the generator's domain.
+		r1 = clampFinite(r1, 0.1, 2000)
+		r2 = clampFinite(r2, 0.1, 2000)
+		dur = clampFinite(dur, 1, 120)
+		strictFrac = clampFinite(strictFrac, 0, 1)
+
+		// Piecewise rate with a deliberate dead window in the middle
+		// third: thinning must produce no arrivals there.
+		third := dur / 3
+		rate := func(x float64) float64 {
+			switch {
+			case x < third:
+				return r1
+			case x < 2*third:
+				return 0
+			default:
+				return r2
+			}
+		}
+		strict := model.MustByName("ResNet 50")
+		pool := []*model.Model{model.MustByName("BERT"), model.MustByName("GPT-2")}
+		reqs, err := Generate(Config{
+			Rate:     rate,
+			Mix:      Mix{StrictFrac: strictFrac, Strict: strict, BEPool: pool},
+			Duration: dur,
+			Seed:     seed,
+		})
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+
+		prev := math.Inf(-1)
+		for i, r := range reqs {
+			if r.Arrival < 0 || r.Arrival >= dur {
+				t.Fatalf("request %d arrives at %v outside [0, %v)", i, r.Arrival, dur)
+			}
+			if r.Arrival <= prev {
+				t.Fatalf("arrivals not strictly ascending: %v after %v", r.Arrival, prev)
+			}
+			prev = r.Arrival
+			if r.ID != uint64(i) {
+				t.Fatalf("request %d has ID %d, want sequential", i, r.ID)
+			}
+			if rate(r.Arrival) == 0 {
+				t.Fatalf("request %d arrives at %v inside the zero-rate window", i, r.Arrival)
+			}
+			if r.Model == nil {
+				t.Fatalf("request %d has no model", i)
+			}
+			if r.Strict && r.Model != strict {
+				t.Fatalf("strict request %d invokes %q, want the strict model", i, r.Model.Name())
+			}
+			if !r.Strict && r.Model != pool[0] && r.Model != pool[1] {
+				t.Fatalf("BE request %d invokes %q, not from the pool", i, r.Model.Name())
+			}
+			if strictFrac == 0 && r.Strict {
+				t.Fatalf("request %d strict despite StrictFrac 0", i)
+			}
+			if strictFrac == 1 && !r.Strict {
+				t.Fatalf("request %d best-effort despite StrictFrac 1", i)
+			}
+		}
+
+		// The thinned process realizes at most the rate integral; allow
+		// 8 sigma of Poisson spread plus slack for tiny lambda.
+		lambda := (r1 + r2) * third
+		if limit := lambda + 8*math.Sqrt(lambda) + 30; float64(len(reqs)) > limit {
+			t.Fatalf("%d arrivals exceed the rate envelope (integral %.1f, limit %.1f)",
+				len(reqs), lambda, limit)
+		}
+
+		// Determinism: the same config replays to the same trace.
+		again, err := Generate(Config{
+			Rate:     rate,
+			Mix:      Mix{StrictFrac: strictFrac, Strict: strict, BEPool: pool},
+			Duration: dur,
+			Seed:     seed,
+		})
+		if err != nil {
+			t.Fatalf("Generate (replay): %v", err)
+		}
+		if len(again) != len(reqs) {
+			t.Fatalf("replay produced %d arrivals, first run %d", len(again), len(reqs))
+		}
+		for i := range again {
+			if again[i] != reqs[i] {
+				t.Fatalf("replay diverges at request %d", i)
+			}
+		}
+	})
+}
+
+// clampFinite forces v into [lo, hi], mapping NaN/Inf to lo.
+func clampFinite(v, lo, hi float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -11,6 +11,7 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"protean/internal/obs"
 	"protean/internal/sim"
@@ -323,40 +324,73 @@ func (f *Fleet) checkRevocations() {
 		if f.sim.Rand().Float64() >= f.cfg.Availability.PRev {
 			continue
 		}
-		f.notices++
-		f.noticeGen[i]++
-		gen := f.noticeGen[i]
-		notice := f.cfg.NoticeMin + f.sim.Rand().Float64()*(f.cfg.NoticeMax-f.cfg.NoticeMin)
-		deadline := f.sim.Now() + notice
-		f.states[i] = nodeDraining
-		if tr := f.sim.Tracer(); tr.Enabled() {
-			ev := obs.At(f.sim.Now(), obs.KindVMNotice)
-			ev.Node = i
-			ev.Value = deadline
-			tr.Emit(ev)
-		}
-		if f.cfg.Listener != nil {
-			f.cfg.Listener.NodeDraining(i, deadline)
-		}
-		i := i
-		// Procurement reacts immediately to the notice (§4.5): retry
-		// spot, fall back to on-demand unless spot-only.
-		replacementReady := false
-		if f.spotAvailable() {
-			f.sim.MustAfter(f.cfg.ProvisionTime, func() { f.replace(i, KindSpot) })
-			replacementReady = true
-		} else if f.cfg.Mode == ModeSpotPreferred {
-			f.failures++
-			f.sim.MustAfter(f.cfg.ProvisionTime, func() { f.replace(i, KindOnDemand) })
-			replacementReady = true
-		} else {
-			f.failures++
-		}
-		// Eviction fires at the deadline; if no replacement was
-		// arranged, the node goes down and spot-only keeps retrying.
-		needRetry := !replacementReady
-		f.sim.MustAfter(notice, func() { f.evict(i, gen, needRetry) })
+		f.notice(i)
 	}
+}
+
+// notice delivers one revocation notice to node i: the node drains for
+// a uniformly drawn 30–120 s lead time while procurement arranges a
+// replacement per the mode, then the eviction fires at the deadline.
+func (f *Fleet) notice(i int) {
+	f.notices++
+	f.noticeGen[i]++
+	gen := f.noticeGen[i]
+	notice := f.cfg.NoticeMin + f.sim.Rand().Float64()*(f.cfg.NoticeMax-f.cfg.NoticeMin)
+	deadline := f.sim.Now() + notice
+	f.states[i] = nodeDraining
+	if tr := f.sim.Tracer(); tr.Enabled() {
+		ev := obs.At(f.sim.Now(), obs.KindVMNotice)
+		ev.Node = i
+		ev.Value = deadline
+		tr.Emit(ev)
+	}
+	if f.cfg.Listener != nil {
+		f.cfg.Listener.NodeDraining(i, deadline)
+	}
+	// Procurement reacts immediately to the notice (§4.5): retry
+	// spot, fall back to on-demand unless spot-only.
+	replacementReady := false
+	if f.spotAvailable() {
+		f.sim.MustAfter(f.cfg.ProvisionTime, func() { f.replace(i, KindSpot) })
+		replacementReady = true
+	} else if f.cfg.Mode == ModeSpotPreferred {
+		f.failures++
+		f.sim.MustAfter(f.cfg.ProvisionTime, func() { f.replace(i, KindOnDemand) })
+		replacementReady = true
+	} else {
+		f.failures++
+	}
+	// Eviction fires at the deadline; if no replacement was
+	// arranged, the node goes down and spot-only keeps retrying.
+	needRetry := !replacementReady
+	f.sim.MustAfter(notice, func() { f.evict(i, gen, needRetry) })
+}
+
+// Storm injects a correlated spot-preemption storm (chaos subsystem):
+// ceil(frac × live spot nodes) nodes — lowest indices first, for
+// determinism — receive a revocation notice at once, exactly as if the
+// provider reclaimed a capacity block. Returns the notice count.
+func (f *Fleet) Storm(frac float64) int {
+	if f.stopped || !f.started || frac <= 0 {
+		return 0
+	}
+	var eligible []int
+	for i, l := range f.leases {
+		if l != nil && l.kind == KindSpot && f.states[i] == nodeUp {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		return 0
+	}
+	k := int(math.Ceil(frac * float64(len(eligible))))
+	if k > len(eligible) {
+		k = len(eligible)
+	}
+	for _, i := range eligible[:k] {
+		f.notice(i)
+	}
+	return k
 }
 
 // replace swaps the node's lease for a fresh one of the given kind. The

@@ -318,3 +318,81 @@ func TestKindAndModeStrings(t *testing.T) {
 		t.Error("unknown kind renders empty")
 	}
 }
+
+// TestCostExactAcrossStormRevocation is the billing regression for the
+// chaos subsystem's preemption storms: when every spot node is revoked
+// mid-billing-interval and drain-and-replace swaps in fresh leases
+// before the eviction deadline, the old lease must stop accruing the
+// moment its replacement attaches — node-seconds are billed exactly
+// once, with no gap and no double-billed notice window.
+func TestCostExactAcrossStormRevocation(t *testing.T) {
+	const nodes = 4
+	s := sim.New(7)
+	f, err := NewFleet(s, Config{
+		Nodes: nodes,
+		Mode:  ModeSpotPreferred,
+		// PRev 0: no organic revocations (no ticker, no replacement
+		// fallbacks to on-demand) — the storm is the only disruption.
+		Availability: AvailabilityHigh,
+	})
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	var notices int
+	if _, err := s.At(100, func() { notices = f.Storm(1) }); err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	if err := s.RunUntil(200); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if notices != nodes {
+		t.Fatalf("Storm(1) issued %d notices, want %d", notices, nodes)
+	}
+	if f.Notices() != nodes {
+		t.Errorf("Notices() = %d, want %d", f.Notices(), nodes)
+	}
+	if f.UpCount() != nodes {
+		t.Errorf("UpCount() = %d after replacement, want %d", f.UpCount(), nodes)
+	}
+	// Every node slot ran on spot continuously: old lease [0, 125),
+	// replacement [125, 200] — 200 node-seconds each, exactly.
+	report := f.Cost(0)
+	want := nodes * 200.0 / 3600 * PricingAWS.SpotHourly
+	if math.Abs(report.Dollars-want) > 1e-9 {
+		t.Errorf("cost = %.12f, want %.12f (delta %.3g): revocation mid-interval double- or under-billed",
+			report.Dollars, want, report.Dollars-want)
+	}
+	wantNorm := PricingAWS.SpotHourly / PricingAWS.OnDemandHourly
+	if math.Abs(report.Normalized-wantNorm) > 1e-9 {
+		t.Errorf("normalized = %v, want %v", report.Normalized, wantNorm)
+	}
+}
+
+// TestStormEdgeCases: storms on stopped, unstarted, or spot-free fleets
+// dissipate without notices.
+func TestStormEdgeCases(t *testing.T) {
+	s := sim.New(1)
+	f, err := NewFleet(s, Config{Nodes: 2, Mode: ModeOnDemandOnly})
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	if got := f.Storm(0.5); got != 0 {
+		t.Errorf("Storm before Start = %d, want 0", got)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if got := f.Storm(0.5); got != 0 {
+		t.Errorf("Storm on all-on-demand fleet = %d, want 0", got)
+	}
+	if got := f.Storm(0); got != 0 {
+		t.Errorf("Storm(0) = %d, want 0", got)
+	}
+	f.Stop()
+	if got := f.Storm(0.5); got != 0 {
+		t.Errorf("Storm after Stop = %d, want 0", got)
+	}
+}

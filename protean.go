@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"protean/internal/chaos"
 	"protean/internal/cluster"
 	"protean/internal/core"
 	"protean/internal/experiments"
@@ -148,6 +149,10 @@ type Config struct {
 	// Tracer receives lifecycle events from the run (nil disables
 	// tracing; see internal/obs).
 	Tracer obs.Tracer
+	// ChaosScale enables deterministic fault injection at a multiple of
+	// the reference fault mix (0 disables — the default; 1 is the
+	// reference mix; see internal/chaos).
+	ChaosScale float64
 }
 
 // Option mutates the configuration.
@@ -185,6 +190,13 @@ func WithGPUArch(arch string) Option { return func(c *Config) { c.GPUArch = arch
 // run are deterministic. The tracer is a pure observer — attaching one
 // changes no scheduling decision or metric.
 func WithTracer(t obs.Tracer) Option { return func(c *Config) { c.Tracer = t } }
+
+// WithChaos enables deterministic fault injection: slice failures,
+// stuck/aborted reconfigurations, stragglers, cold-start failures, and
+// preemption storms at scale times the reference mix (1 = reference;
+// 0 disables, leaving runs byte-identical to a chaos-free build). The
+// fault schedule is a pure function of the seed.
+func WithChaos(scale float64) Option { return func(c *Config) { c.ChaosScale = scale } }
 
 // Platform is a configured serverless platform ready to serve workloads.
 type Platform struct {
@@ -270,6 +282,15 @@ type Result struct {
 	// NormalizedCost is spending relative to an all-on-demand fleet
 	// (zero without a procurement layer).
 	NormalizedCost float64
+	// Availability is the completed/offered request ratio (1 when every
+	// offered request completed; faults and drops lower it).
+	Availability float64
+	// Requeued counts requests re-dispatched after an injected slice
+	// failure orphaned their batch (zero without chaos).
+	Requeued int
+	// Retries counts backoff retries after injected cold-start failures
+	// (zero without chaos).
+	Retries int
 	// GeometryTimeline records MIG geometry installations.
 	GeometryTimeline []GeometryChange
 	// Models summarizes served traffic per model (sorted by name).
@@ -375,6 +396,10 @@ func (p *Platform) Run(w Workload) (*Result, error) {
 	if p.cfg.Tracer != nil {
 		s.SetTracer(p.cfg.Tracer)
 	}
+	var chaosCfg chaos.Config
+	if p.cfg.ChaosScale > 0 {
+		chaosCfg = chaos.DefaultConfig().Scaled(p.cfg.ChaosScale)
+	}
 	c, err := cluster.New(s, cluster.Config{
 		Nodes:         p.cfg.Nodes,
 		Policy:        factory,
@@ -384,6 +409,7 @@ func (p *Platform) Run(w Workload) (*Result, error) {
 		PreWarmCount:  4,
 		VM:            vmCfg,
 		Arch:          arch,
+		Chaos:         chaosCfg,
 	})
 	if err != nil {
 		return nil, err
@@ -407,6 +433,9 @@ func (p *Platform) Run(w Workload) (*Result, error) {
 		MemoryUtilization: res.MemUtil,
 		ColdStarts:        res.ColdStarts,
 		Reconfigurations:  res.Reconfigs,
+		Availability:      res.Availability.Rate(),
+		Requeued:          res.Availability.Requeued,
+		Retries:           res.Availability.Retries,
 		Models:            rec.Snapshot(),
 	}
 	if res.Cost != nil {
@@ -479,11 +508,15 @@ func Models() []ModelInfo {
 }
 
 // Experiments lists the reproducible paper artifacts ("fig5",
-// "table4", ...).
+// "table4", ...) followed by the extras ("chaos", ...).
 func Experiments() []string {
 	reg := experiments.Registry()
-	out := make([]string, 0, len(reg))
+	extras := experiments.Extras()
+	out := make([]string, 0, len(reg)+len(extras))
 	for _, e := range reg {
+		out = append(out, e.ID)
+	}
+	for _, e := range extras {
 		out = append(out, e.ID)
 	}
 	return out
