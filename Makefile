@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-quick trace-demo chaos-demo ci
+.PHONY: all build vet lint lint-json lint-graph test race bench bench-quick trace-demo chaos-demo ci
 
 all: build
 
@@ -16,6 +16,17 @@ vet:
 
 lint:
 	$(GO) run ./cmd/protean-lint ./...
+
+# Machine-readable findings, sorted by (file, line, rule) — what CI
+# uploads as its lint-findings artifact.
+lint-json:
+	$(GO) run ./cmd/protean-lint -json ./... > lint-findings.json || true
+	@echo wrote lint-findings.json
+
+# Dump the callgraph the flow analyzers reason over: one line per
+# function with [hotpath] / [go] markers and one line per resolved edge.
+lint-graph:
+	$(GO) run ./cmd/protean-lint -graph ./...
 
 test:
 	$(GO) test ./...

@@ -1,12 +1,19 @@
 // Command protean-lint runs PROTEAN's determinism- and SLO-safety
-// static analysis over the repository (see internal/lint).
+// static analysis over the repository (see internal/lint and
+// internal/lint/flow).
 //
 //	protean-lint ./...                     # lint the whole module
 //	protean-lint ./internal/...            # lint a subtree
 //	protean-lint -json ./...               # machine-readable findings
 //	protean-lint -disable floateq ./...    # turn rules off
-//	protean-lint -enable walltime ./...    # run only these rules
+//	protean-lint -enable rngflow ./...     # run only these rules
 //	protean-lint -list                     # describe the rules
+//	protean-lint -graph ./...              # dump the callgraph and exit
+//	protean-lint -baseline old.json ./...  # ignore findings recorded in old.json
+//
+// The per-package rules walk one package at a time; the flow rules
+// (rngflow, floatsum, hotalloc, sharedstate) build a callgraph over
+// every loaded package and always see the full pattern-selected set.
 //
 // Suppress a single finding in source with
 //
@@ -26,6 +33,7 @@ import (
 	"strings"
 
 	"protean/internal/lint"
+	"protean/internal/lint/flow"
 )
 
 func main() {
@@ -39,20 +47,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	enable := fs.String("enable", "", "comma-separated rules to run (default: all)")
 	disable := fs.String("disable", "", "comma-separated rules to skip")
 	list := fs.Bool("list", false, "list available rules and exit")
+	graph := fs.Bool("graph", false, "dump the flow callgraph (nodes, edges, spawn and hotpath markers) and exit")
+	baseline := fs.String("baseline", "", "JSON findings file (-json output) to subtract; for staged adoption of new rules")
 	dir := fs.String("C", ".", "directory to locate the module from")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	analyzers := lint.Analyzers()
+	programs := flow.Analyzers()
 	if *list {
 		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		for _, a := range programs {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
 
-	analyzers, err := selectAnalyzers(analyzers, *enable, *disable)
+	analyzers, programs, err := selectAnalyzers(analyzers, programs, *enable, *disable)
 	if err != nil {
 		fmt.Fprintln(stderr, "protean-lint:", err)
 		return 2
@@ -78,8 +92,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "protean-lint:", err)
 		return 2
 	}
+	// A skipped file or test-only package is a diagnostic, not a silent
+	// hole in the analysis.
+	for _, note := range loader.Notes() {
+		fmt.Fprintln(stderr, "protean-lint: note:", note)
+	}
 
-	findings := lint.Run(pkgs, analyzers)
+	if *graph {
+		flow.BuildProgram(pkgs).Dump(stdout)
+		return 0
+	}
+
+	findings := lint.RunProgram(pkgs, analyzers, programs)
+	if *baseline != "" {
+		findings, err = subtractBaseline(findings, *baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "protean-lint:", err)
+			return 2
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -101,11 +132,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// selectAnalyzers applies -enable / -disable. Unknown rule names are an
-// error so a typo cannot silently disable nothing.
-func selectAnalyzers(all []*lint.Analyzer, enable, disable string) ([]*lint.Analyzer, error) {
+// selectAnalyzers applies -enable / -disable across both the
+// per-package and the whole-program rule sets. Unknown rule names are
+// an error so a typo cannot silently disable nothing.
+func selectAnalyzers(all []*lint.Analyzer, programs []*lint.ProgramAnalyzer, enable, disable string) ([]*lint.Analyzer, []*lint.ProgramAnalyzer, error) {
 	known := map[string]bool{}
 	for _, a := range all {
+		known[a.Name] = true
+	}
+	for _, a := range programs {
 		known[a.Name] = true
 	}
 	parse := func(csv string) (map[string]bool, error) {
@@ -127,24 +162,62 @@ func selectAnalyzers(all []*lint.Analyzer, enable, disable string) ([]*lint.Anal
 	}
 	on, err := parse(enable)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	off, err := parse(disable)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var out []*lint.Analyzer
+	keep := func(name string) bool {
+		if len(on) > 0 && !on[name] {
+			return false
+		}
+		return !off[name]
+	}
+	var outA []*lint.Analyzer
 	for _, a := range all {
-		if len(on) > 0 && !on[a.Name] {
-			continue
+		if keep(a.Name) {
+			outA = append(outA, a)
 		}
-		if off[a.Name] {
-			continue
-		}
-		out = append(out, a)
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no rules selected")
+	var outP []*lint.ProgramAnalyzer
+	for _, a := range programs {
+		if keep(a.Name) {
+			outP = append(outP, a)
+		}
+	}
+	if len(outA)+len(outP) == 0 {
+		return nil, nil, fmt.Errorf("no rules selected")
+	}
+	return outA, outP, nil
+}
+
+// subtractBaseline drops findings recorded in a previous -json run: a
+// finding is consumed by a baseline entry matching on (rule, file, msg)
+// — line numbers shift as files are edited, so they do not participate.
+// Each baseline entry absorbs one finding, keeping counts honest when
+// the same message appears twice.
+func subtractBaseline(findings []lint.Finding, path string) ([]lint.Finding, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var base []lint.Finding
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	budget := map[string]int{}
+	for _, b := range base {
+		budget[b.Rule+"\x00"+b.File+"\x00"+b.Msg]++
+	}
+	var out []lint.Finding
+	for _, f := range findings {
+		key := f.Rule + "\x00" + f.File + "\x00" + f.Msg
+		if budget[key] > 0 {
+			budget[key]--
+			continue
+		}
+		out = append(out, f)
 	}
 	return out, nil
 }

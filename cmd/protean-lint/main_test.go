@@ -157,3 +157,145 @@ func TestBadFlag(t *testing.T) {
 		t.Fatalf("exit = %d, want 2", code)
 	}
 }
+
+// writeFlowModule lays out a module with one hotalloc and one
+// sharedstate violation, a test-only package, and a cgo-gated file —
+// exercising the whole-program rules and the loader diagnostics
+// end-to-end through the CLI.
+func writeFlowModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module example.com/tmp\n\ngo 1.22\n",
+		"internal/eng/eng.go": `package eng
+
+//protean:hotpath
+func Hot(n int) []int {
+	return make([]int, n)
+}
+
+var count int
+
+func bump() {
+	count++
+}
+
+func Spawn() {
+	for i := 0; i < 2; i++ {
+		go bump()
+	}
+}
+`,
+		"internal/eng/cgoer.go": `//go:build cgo
+
+package eng
+
+func notAnalyzed() { undefinedWhenCgoOff() }
+`,
+		"internal/testish/only_test.go": `package testish
+
+import "testing"
+
+func TestNothing(t *testing.T) {}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestFlowRulesRunByDefault(t *testing.T) {
+	root := writeFlowModule(t)
+	code, out, errOut := runLint(t, "-C", root, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	for _, want := range []string{"hotalloc", "sharedstate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q finding:\n%s", want, out)
+		}
+	}
+	// Loader diagnostics: the test-only package and the cgo-gated file
+	// must be announced on stderr, not silently dropped.
+	for _, want := range []string{"note:", "testish", "cgoer.go"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("stderr missing %q:\n%s", want, errOut)
+		}
+	}
+}
+
+func TestEnableFlowRuleSubset(t *testing.T) {
+	root := writeFlowModule(t)
+	code, out, _ := runLint(t, "-C", root, "-enable", "hotalloc", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "hotalloc") {
+		t.Errorf("enabled flow rule did not run:\n%s", out)
+	}
+	if strings.Contains(out, "sharedstate") {
+		t.Errorf("disabled flow rule still ran:\n%s", out)
+	}
+}
+
+func TestGraphDump(t *testing.T) {
+	root := writeFlowModule(t)
+	code, out, _ := runLint(t, "-C", root, "-graph", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"example.com/tmp/internal/eng.Hot [hotpath]",
+		"example.com/tmp/internal/eng.bump [go×N]",
+		"-> example.com/tmp/internal/eng.bump [static]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("graph dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBaselineSubtraction(t *testing.T) {
+	root := writeFlowModule(t)
+	code, jsonOut, _ := runLint(t, "-C", root, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("seed run: exit = %d, want 1", code)
+	}
+	basePath := filepath.Join(root, "baseline.json")
+	if err := os.WriteFile(basePath, []byte(jsonOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runLint(t, "-C", root, "-baseline", basePath, "./...")
+	if code != 0 {
+		t.Fatalf("baselined run: exit = %d, want 0; output:\n%s", code, out)
+	}
+	// A finding absent from the baseline still fails the run.
+	if err := os.WriteFile(basePath, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ = runLint(t, "-C", root, "-baseline", basePath, "./..."); code != 1 {
+		t.Fatalf("empty baseline: exit = %d, want 1", code)
+	}
+	if code, _, errOut := runLint(t, "-C", root, "-baseline", filepath.Join(root, "missing.json"), "./..."); code != 2 || !strings.Contains(errOut, "baseline") {
+		t.Fatalf("missing baseline file: exit=%d stderr=%s", code, errOut)
+	}
+}
+
+func TestListIncludesFlowRules(t *testing.T) {
+	code, out, _ := runLint(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range lint.FlowRules() {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list missing flow rule %s", name)
+		}
+	}
+}

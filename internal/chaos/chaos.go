@@ -277,6 +277,7 @@ func New(s *sim.Sim, cfg Config) (*Injector, error) {
 	return &Injector{
 		cfg: cfg,
 		sim: s,
+		//lint:ignore rngflow one-time child-stream derivation at construction — the pattern the sharded loop should adopt everywhere; only this single seed draw touches the shared stream
 		rng: rand.New(rand.NewSource(s.Rand().Int63())),
 	}, nil
 }

@@ -841,6 +841,7 @@ func (n *node) resubmit(j *gpu.Job) {
 
 // serviceJitter samples the lognormal execution-time multiplier (unit
 // mean) modelling data-dependent batch variability.
+//protean:hotpath
 func (c *Cluster) serviceJitter() float64 {
 	cv := c.cfg.ServiceJitterCV
 	if cv <= 0 {
@@ -848,12 +849,14 @@ func (c *Cluster) serviceJitter() float64 {
 	}
 	sigma2 := math.Log(1 + cv*cv)
 	sigma := math.Sqrt(sigma2)
+	//lint:ignore rngflow safe while a scenario is single-goroutine: jitter draws happen in dispatch order on the event loop; sharding (ROADMAP 1) must draw from a per-shard child stream
 	return math.Exp(c.sim.Rand().NormFloat64()*sigma - sigma2/2)
 }
 
 // batchScale converts batch fill into a work/bandwidth scale: GPU batch
 // execution is sublinear in batch size, so a partial batch still pays a
 // fixed fraction of the full-batch cost.
+//protean:hotpath
 func batchScale(b *queue.Batch) float64 {
 	fill := float64(b.Size()) / float64(b.Model.BatchSize())
 	if fill > 1 {

@@ -107,7 +107,9 @@ func formatP(p float64) string {
 	if math.IsNaN(p) {
 		return "n/a"
 	}
-	if p == 0 { //lint:ignore floateq exact underflow-to-zero check, not a tolerance comparison
+	// Exact underflow-to-zero check, not a tolerance comparison; floateq
+	// exempts comparisons against the zero constant by design.
+	if p == 0 {
 		return "<1e-300"
 	}
 	return fmt.Sprintf("%.2e", p)

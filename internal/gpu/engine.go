@@ -303,6 +303,7 @@ func (sl *Slice) Failed() bool { return sl.failed }
 // the slice — the contention term of Eq. (1). Running jobs always carry
 // their cached invariants, and the sum runs left to right in start
 // order, so the result is bitwise identical to re-deriving each term.
+//protean:hotpath
 func (sl *Slice) TotalFBR() float64 {
 	total := 0.0
 	for _, j := range sl.running {
@@ -313,6 +314,7 @@ func (sl *Slice) TotalFBR() float64 {
 
 // TotalComputeDemand is the summed SM demand (as a fraction of the
 // slice's SMs) of the jobs currently running on the slice.
+//protean:hotpath
 func (sl *Slice) TotalComputeDemand() float64 {
 	total := 0.0
 	for _, j := range sl.running {
@@ -325,6 +327,7 @@ func (sl *Slice) TotalComputeDemand() float64 {
 // defensive copy Running() makes. Intended for hot paths (placement
 // scoring, admission scans) that visit resident jobs on every decision.
 // fn must not mutate the slice's job set.
+//protean:hotpath
 func (sl *Slice) EachRunning(fn func(*Job)) {
 	for _, j := range sl.running {
 		fn(j)
@@ -334,6 +337,7 @@ func (sl *Slice) EachRunning(fn func(*Job)) {
 // EachPending calls fn for every admitted-but-not-started job in queue
 // order, without the defensive copy Pending() makes. fn must not mutate
 // the slice's job set.
+//protean:hotpath
 func (sl *Slice) EachPending(fn func(*Job)) {
 	for _, j := range sl.pending {
 		fn(j)
@@ -345,6 +349,7 @@ func (sl *Slice) EachPending(fn func(*Job)) {
 // (bandwidth contention with cache-pollution amplification, and SM
 // contention — everything slowdownFor applies). Idle and time-shared
 // slices report 1.
+//protean:hotpath
 func (sl *Slice) Slowdown() float64 {
 	worst := 1.0
 	for _, j := range sl.running {
@@ -358,6 +363,7 @@ func (sl *Slice) Slowdown() float64 {
 // SlowdownFor is the full interference multiplier the engine applies to
 // job j while the slice occupancy stays as it is now — the per-job term
 // Slowdown takes the max of.
+//protean:hotpath
 func (sl *Slice) SlowdownFor(j *Job) float64 { return sl.slowdownFor(j) }
 
 // DefaultInterferenceAmp is the cache-interference amplification factor
@@ -376,6 +382,7 @@ const DefaultInterferenceAmp = 4.0
 // whose demand exceeds the partition (the generative LLMs) is not
 // slowed relative to its own solo measurement, which already includes
 // self-saturation.
+//protean:hotpath
 func (sl *Slice) slowdownFor(j *Job) float64 {
 	if sl.Mode == ShareTimeSlice {
 		return 1
@@ -534,6 +541,7 @@ func (sl *Slice) emitJob(k obs.Kind, j *Job) {
 // hot path allocates nothing and leaves no dead timers in the event
 // heap; a job that has no timer yet (it is the one being started) gets
 // a fresh one.
+//protean:hotpath
 func (sl *Slice) rebalance(now float64) {
 	worst := 1.0
 	for _, j := range sl.running {
@@ -550,6 +558,7 @@ func (sl *Slice) rebalance(now float64) {
 			continue
 		}
 		j := j
+		//lint:ignore hotalloc one closure per newly started job, not per rebalance: every later pass reuses the timer in place via Reschedule above
 		j.timer = sl.sim.MustAfter(j.remaining*j.slow, func() { sl.complete(j) })
 	}
 	if tr := sl.sim.Tracer(); tr.Enabled() {
@@ -594,6 +603,7 @@ func (sl *Slice) complete(j *Job) {
 }
 
 // account accumulates busy-time and memory-use integrals up to now.
+//protean:hotpath
 func (sl *Slice) account(now float64) {
 	sl.gpu.accountAnyBusy(now)
 	dt := now - sl.lastAccount
@@ -609,6 +619,7 @@ func (sl *Slice) account(now float64) {
 
 // accountAnyBusy integrates the GPU's non-idle time (any slice running
 // any job) up to now — the paper's GPU-utilization definition.
+//protean:hotpath
 func (g *GPU) accountAnyBusy(now float64) {
 	dt := now - g.lastAnyAccount
 	if dt <= 0 {

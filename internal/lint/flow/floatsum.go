@@ -1,0 +1,202 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"protean/internal/lint"
+)
+
+// floatsumAnalyzer flags order-sensitive floating-point accumulation.
+// Float addition is not associative: summing the same multiset in two
+// orders produces different low bits, so any float reduction whose
+// iteration order is not fixed breaks byte-identity. DESIGN.md's
+// performance-model section forbids incremental float aggregates for
+// exactly this reason — aggregates must be recomputed from stably
+// ordered inputs. Two patterns are flagged:
+//
+//  1. Compound float accumulation (+=, -=, or x = x + e) inside a range
+//     over a map, when the added term depends on the iteration
+//     variables: the rounding error accretes in randomized map order.
+//     (maporder deliberately exempts += as commutative; for floats the
+//     exemption is unsound, and this rule closes the gap.)
+//  2. Float accumulation into a variable captured by a goroutine body
+//     or into a package-level float from code reachable from two or
+//     more spawn sites: concurrent partial sums merge in completion
+//     order. Merge per-worker results by worker index instead.
+func floatsumAnalyzer(get func([]*lint.Package) *Program) *lint.ProgramAnalyzer {
+	return &lint.ProgramAnalyzer{
+		Name: "floatsum",
+		Doc:  "flag float accumulation ordered by map iteration or concurrent merge; reduce over a sorted, indexed order",
+		Run: func(pkgs []*lint.Package, report func(pos token.Pos, format string, args ...any)) {
+			runFloatsum(get(pkgs), report)
+		},
+	}
+}
+
+func runFloatsum(p *Program, report func(pos token.Pos, format string, args ...any)) {
+	reach := p.SpawnReach()
+	var goroutineBodies map[*Node]bool
+	{
+		var roots []*Node
+		for _, sp := range p.Spawns {
+			roots = append(roots, sp.Roots...)
+		}
+		goroutineBodies = p.ReachableFrom(roots, Closure)
+	}
+
+	for _, n := range p.Nodes {
+		if n.Body() == nil {
+			continue
+		}
+		node := n
+		ast.Inspect(n.Body(), func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false // literals are their own nodes
+			}
+			tgt, term, ok := floatAccumulation(node.Pkg.Info, x)
+			if !ok {
+				return true
+			}
+
+			// Pattern 1: accumulation in map-iteration order.
+			if rs := enclosingMapRange(node, x.Pos()); rs != nil {
+				if dependsOnRangeVars(node.Pkg.Info, term, rs) && !declaredInside(node.Pkg.Info, tgt, rs) {
+					report(x.Pos(), "float accumulation into %s in map-iteration order; float addition is not associative — sum over sorted keys",
+						types.ExprString(tgt))
+					return true
+				}
+			}
+
+			// Pattern 2: concurrent merge. The accumulator is hazardous
+			// when it outlives the accumulating goroutine: a package-level
+			// float written from multi-spawn-reachable code, or a captured
+			// variable written inside a goroutine body.
+			root := rootIdentOf(tgt)
+			if root == nil {
+				return true
+			}
+			obj := node.Pkg.Info.Uses[root]
+			if obj == nil {
+				obj = node.Pkg.Info.Defs[root]
+			}
+			v, okVar := obj.(*types.Var)
+			if !okVar {
+				return true
+			}
+			switch {
+			case v.Pkg() != nil && v.Parent() == v.Pkg().Scope():
+				if SpawnWeight(reach[node]) >= 2 {
+					report(x.Pos(), "float accumulation into package-level %s from code reachable from multiple goroutine spawns; partial sums merge in completion order",
+						v.Name())
+				}
+			case goroutineBodies[node] && !v.IsField() && !withinNode(node, v.Pos()):
+				report(x.Pos(), "float accumulation into captured variable %s inside a goroutine body; merge per-worker results by index after Wait",
+					v.Name())
+			}
+			return true
+		})
+	}
+}
+
+// floatAccumulation matches `x += e`, `x -= e`, and `x = x + e` (or
+// x - e) where x has floating-point type, returning the accumulator
+// expression and the added term.
+func floatAccumulation(info *types.Info, x ast.Node) (tgt, term ast.Expr, ok bool) {
+	as, isAssign := x.(*ast.AssignStmt)
+	if !isAssign || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, nil, false
+	}
+	lhs, rhs := as.Lhs[0], as.Rhs[0]
+	if !isFloat(info.TypeOf(lhs)) {
+		return nil, nil, false
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		return lhs, rhs, true
+	case token.ASSIGN:
+		bin, isBin := ast.Unparen(rhs).(*ast.BinaryExpr)
+		if !isBin || (bin.Op != token.ADD && bin.Op != token.SUB) {
+			return nil, nil, false
+		}
+		if types.ExprString(bin.X) == types.ExprString(lhs) {
+			return lhs, bin.Y, true
+		}
+		if bin.Op == token.ADD && types.ExprString(bin.Y) == types.ExprString(lhs) {
+			return lhs, bin.X, true
+		}
+	}
+	return nil, nil, false
+}
+
+// dependsOnRangeVars reports whether the accumulated term mentions the
+// loop's key or value variable. A loop-invariant term (x += 0.1 per
+// entry) adds the same value regardless of order and is exempt.
+func dependsOnRangeVars(info *types.Info, term ast.Expr, rs *ast.RangeStmt) bool {
+	if term == nil || rs.Tok != token.DEFINE {
+		return false
+	}
+	objs := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				objs[obj] = true
+			}
+		}
+	}
+	found := false
+	ast.Inspect(term, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objs[info.Uses[id]] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// declaredInside reports whether the accumulator's root identifier is
+// declared within the range statement (a per-iteration local, reset
+// each pass — order cannot matter).
+func declaredInside(info *types.Info, tgt ast.Expr, rs *ast.RangeStmt) bool {
+	root := rootIdentOf(tgt)
+	if root == nil {
+		return false
+	}
+	obj := info.ObjectOf(root)
+	return obj != nil && obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()
+}
+
+// withinNode reports whether pos falls inside the node's declaration.
+func withinNode(n *Node, pos token.Pos) bool {
+	start := nodeExtentStart(n)
+	return pos >= start && pos < n.Body().End()
+}
+
+func rootIdentOf(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

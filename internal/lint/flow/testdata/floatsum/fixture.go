@@ -1,0 +1,134 @@
+// Package floatsum exercises order-sensitive float accumulation: map
+// ranges and concurrent merges are flagged; integer sums, invariant
+// terms, per-iteration locals, and sorted reductions are not.
+package floatsum
+
+import (
+	"sort"
+	"sync"
+)
+
+// MapSum accretes rounding error in randomized map order.
+func MapSum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want:floatsum
+	}
+	return sum
+}
+
+// MapSub is the subtractive twin.
+func MapSub(m map[string]float64) float64 {
+	left := 100.0
+	for _, v := range m {
+		left = left - v // want:floatsum
+	}
+	return left
+}
+
+// MapSumSorted is the required shape: collect, sort, then reduce in a
+// fixed order.
+func MapSumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += m[k] // ok: slice iteration in sorted key order
+	}
+	return sum
+}
+
+// IntSum is exact regardless of order.
+func IntSum(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v // ok: integer addition is associative
+	}
+	return t
+}
+
+// InvariantAdd adds the same term per entry; order cannot matter.
+func InvariantAdd(m map[string]int) float64 {
+	x := 0.0
+	for range m {
+		x += 0.5 // ok: loop-invariant term
+	}
+	return x
+}
+
+// PerIteration resets the accumulator every pass.
+func PerIteration(m map[string]float64) float64 {
+	worst := 0.0
+	for _, v := range m {
+		d := 0.0
+		d += v // ok: declared inside the loop
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Concurrent merges partial sums in goroutine completion order.
+func Concurrent(parts [][]float64) float64 {
+	var total float64
+	var wg sync.WaitGroup
+	for _, part := range parts {
+		wg.Add(1)
+		part := part
+		go func() {
+			defer wg.Done()
+			for _, v := range part {
+				total += v // want:floatsum
+			}
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// grand is a package-level aggregate fed from spawned workers.
+var grand float64
+
+// AddGrand is reachable from a looped spawn, so the add below merges in
+// scheduler order.
+func AddGrand(x float64) {
+	grand += x // want:floatsum
+}
+
+// SpawnAdders fans AddGrand out over goroutines.
+func SpawnAdders() {
+	for i := 0; i < 4; i++ {
+		go func() {
+			AddGrand(1.5)
+		}()
+	}
+}
+
+// Indexed is the safe concurrent shape: disjoint slots, merged after
+// the barrier in index order.
+func Indexed(parts [][]float64) float64 {
+	sums := make([]float64, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		wg.Add(1)
+		i, part := i, part
+		go func() {
+			defer wg.Done()
+			s := 0.0
+			for _, v := range part {
+				s += v // ok: local accumulator, slice order
+			}
+			sums[i] = s
+		}()
+	}
+	wg.Wait()
+	total := 0.0
+	for _, s := range sums {
+		total += s // ok: slice iteration, fixed order
+	}
+	return total
+}

@@ -1,0 +1,46 @@
+// Package golden holds one stable finding per flow analyzer; the
+// rendered output is pinned byte-for-byte in golden.txt so any change
+// to finding order, positions, or message text is a reviewed diff.
+package golden
+
+import "math/rand"
+
+var rng = rand.New(rand.NewSource(1))
+
+// Draw trips rngflow: the stream advances in map-iteration order.
+func Draw(m map[string]int) int {
+	t := 0
+	for range m {
+		t += rng.Intn(2)
+	}
+	return t
+}
+
+// Add trips floatsum: rounding error accretes in map order.
+func Add(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Hot trips hotalloc: a hot function calling make.
+//
+//protean:hotpath
+func Hot(n int) []int {
+	return make([]int, n)
+}
+
+var count int
+
+func bump() {
+	count++
+}
+
+// Spawn trips sharedstate: bump runs on looped goroutines.
+func Spawn() {
+	for i := 0; i < 2; i++ {
+		go bump()
+	}
+}

@@ -1,0 +1,95 @@
+// Package hotalloc exercises allocation detection in //protean:hotpath
+// functions and their callees: composite literals, builtins, closures,
+// string churn, and interface boxing fire; cold error branches,
+// trace-guarded blocks, and unannotated functions stay silent.
+package hotalloc
+
+import "errors"
+
+// Item is the per-job record the mini engine rebalances.
+type Item struct {
+	ID   int
+	Load float64
+}
+
+// Tracer mimics the obs tracer: Enabled guards the slow path.
+type Tracer struct{ on bool }
+
+// Enabled reports whether tracing is on.
+func (t *Tracer) Enabled() bool { return t.on }
+
+// Emit is the cold trace sink.
+func (t *Tracer) Emit(kind string, args ...any) {}
+
+// Engine is the mini slice engine.
+type Engine struct {
+	items  []Item
+	tracer *Tracer
+	total  float64
+}
+
+//protean:hotpath
+func (e *Engine) Rebalance() error {
+	if len(e.items) == 0 {
+		return errors.New("no items") // ok: error branch is cold
+	}
+	if e.tracer.Enabled() {
+		e.Emit("rebalance", len(e.items)) // ok: trace-guarded block
+	}
+	it := &Item{ID: 1} // want:hotalloc
+	_ = it
+	batch := []Item{{ID: 2}} // want:hotalloc
+	_ = batch
+	seen := make(map[int]bool) // want:hotalloc
+	_ = seen
+	e.items = append(e.items, Item{ID: 3}) // want:hotalloc
+	cb := func() { e.total = 0 }           // want:hotalloc
+	cb()
+	e.accumulate()
+	return nil
+}
+
+// Emit forwards to the tracer; var-args on a cold path only.
+func (e *Engine) Emit(kind string, n int) {
+	e.tracer.Emit(kind, n)
+}
+
+// accumulate is NOT annotated, but Rebalance reaches it, so its
+// allocations count against the hot path.
+func (e *Engine) accumulate() {
+	buf := make([]byte, 64) // want:hotalloc
+	_ = buf
+}
+
+//protean:hotpath
+func Describe(name string, n int) string {
+	return name + ": hot" // want:hotalloc
+}
+
+//protean:hotpath
+func Convert(name string) []byte {
+	return []byte(name) // want:hotalloc
+}
+
+// Sink boxes its argument.
+func Sink(v any) {}
+
+//protean:hotpath
+func Box(x int) {
+	Sink(x) // want:hotalloc
+}
+
+//protean:hotpath
+func NoBox(p *Item) {
+	Sink(p) // ok: pointers do not box
+}
+
+// ColdSetup is unannotated and unreached from any hot root: it may
+// allocate freely.
+func ColdSetup() *Engine {
+	e := &Engine{
+		items:  make([]Item, 0, 8),
+		tracer: &Tracer{},
+	}
+	return e
+}

@@ -1,0 +1,58 @@
+// Package app exercises the three rngflow rules against the stream
+// owned by the core package.
+package app
+
+import (
+	"math/rand"
+
+	"fixturemod/core"
+)
+
+var eng = core.NewEngine()
+
+// MapDraw consumes the stream in map-iteration order: the sequence is
+// fixed, but which key receives which value is not.
+func MapDraw(m map[string]int, rng *rand.Rand) int {
+	t := 0
+	for k := range m {
+		t += len(k) + rng.Intn(3) // want:rngflow
+	}
+	return t
+}
+
+// SliceDraw is the safe shape: a slice iteration consumes the stream in
+// index order.
+func SliceDraw(xs []int, rng *rand.Rand) int {
+	t := 0
+	for range xs {
+		t += rng.Intn(3) // ok: slice order is deterministic
+	}
+	return t
+}
+
+// SpawnDraw draws a captured stream inside a goroutine body; the second
+// goroutine shows the legal per-goroutine pattern.
+func SpawnDraw(rng *rand.Rand, out, out2 chan float64) {
+	go func() {
+		out <- rng.Float64() // want:rngflow
+	}()
+	go func() {
+		local := rand.New(rand.NewSource(1))
+		out2 <- local.Float64() // ok: stream created inside the goroutine
+	}()
+}
+
+// StartWorkers spawns two goroutines that both draw from core's one
+// stream through its accessor: the alias rule fires at each draw site.
+func StartWorkers() {
+	go producer()
+	go consumer()
+}
+
+func producer() float64 {
+	return eng.Rand().Float64() // want:rngflow
+}
+
+func consumer() float64 {
+	return eng.Rand().NormFloat64() // want:rngflow
+}

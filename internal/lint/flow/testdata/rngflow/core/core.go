@@ -1,0 +1,19 @@
+// Package core plays the role of internal/sim in the rngflow fixture:
+// it owns a seeded stream and exposes it through an accessor.
+package core
+
+import "math/rand"
+
+// Engine owns the deterministic stream, like sim.Sim.
+type Engine struct {
+	rng *rand.Rand
+}
+
+// NewEngine seeds the stream.
+func NewEngine() *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(7))}
+}
+
+// Rand exposes the stream; draws through this accessor outside core are
+// what the alias rule audits.
+func (e *Engine) Rand() *rand.Rand { return e.rng }

@@ -1,0 +1,122 @@
+// Package sharedstate exercises unsynchronized writes reachable from
+// goroutine spawns: package-level counters, receiver fields shared by
+// two workers, and captured locals in looped spawns fire; mutex-held
+// writes and state private to a single spawn stay silent.
+package sharedstate
+
+import "sync"
+
+// hits is package-level state bumped from spawned workers.
+var hits int
+
+// Record is reachable from the looped spawn in Serve.
+func Record() {
+	hits++ // want:sharedstate
+}
+
+// Serve fans Record out over goroutines.
+func Serve(n int) {
+	for i := 0; i < n; i++ {
+		go Record()
+	}
+}
+
+// guarded shows the accepted shape: a lock held across the write.
+var (
+	mu    sync.Mutex
+	total int
+)
+
+// Bump locks around the shared write.
+func Bump() {
+	mu.Lock()
+	total++ // ok: write under mu
+	mu.Unlock()
+}
+
+// ServeGuarded spawns Bump the same way Serve spawns Record.
+func ServeGuarded(n int) {
+	for i := 0; i < n; i++ {
+		go Bump()
+	}
+}
+
+// Pool is shared by the two distinct workers Start spawns.
+type Pool struct {
+	busy int
+	mu   sync.Mutex
+	done int
+}
+
+// Start launches two different goroutines over one receiver.
+func (p *Pool) Start() {
+	go p.acquire()
+	go p.release()
+}
+
+func (p *Pool) acquire() { p.adjust(1) }
+
+func (p *Pool) release() {
+	p.adjust(-1)
+	p.mu.Lock()
+	p.done++ // ok: field write under p.mu
+	p.mu.Unlock()
+}
+
+// adjust is reachable from both of Start's spawns: two goroutines race
+// on the same field of the same receiver.
+func (p *Pool) adjust(d int) {
+	p.busy += d // want:sharedstate
+}
+
+// Worker is private to the single goroutine that Run spawns: writing
+// its fields there is the normal actor pattern, not shared state.
+type Worker struct {
+	steps int
+}
+
+// Run gives the worker its own goroutine.
+func (w *Worker) Run() {
+	go w.loop()
+}
+
+func (w *Worker) loop() {
+	for i := 0; i < 3; i++ {
+		w.steps++ // ok: only one spawn site reaches this receiver
+	}
+}
+
+// Fan captures a local counter in a looped spawn.
+func Fan(n int) int {
+	count := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			count++ // want:sharedstate
+		}()
+	}
+	wg.Wait()
+	return count
+}
+
+// FanIndexed is the accepted disjoint-slot shape; the analyzer cannot
+// prove index disjointness, so the write carries the suppression idiom
+// used in internal/experiments.
+func FanIndexed(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			v := i * 2
+			//lint:ignore sharedstate each goroutine writes its own slot i; wg.Wait is the happens-before edge
+			out[i] = v
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -5,6 +5,14 @@
 // package-level rand call, or a map iteration that feeds a scheduling
 // decision. The analyzers in this package lock those invariants in.
 //
+// Two analyzer shapes exist. Per-package Analyzers walk one type-checked
+// package at a time (the PR 1 rules: walltime, globalrand, maporder,
+// floateq, errignore, hotcopy). ProgramAnalyzers see every package of
+// the module at once and reason over the callgraph — RNG dataflow,
+// float-reduction ordering, hot-path allocations, shared mutable state;
+// they live in the lint/flow subpackage and are wired in by
+// cmd/protean-lint via RunProgram.
+//
 // The framework is stdlib-only (go/ast, go/parser, go/types, go/token):
 // packages are parsed and type-checked from source, analyzers walk the
 // typed syntax trees, and findings carry exact positions. Individual
@@ -13,8 +21,10 @@
 //	//lint:ignore <rule>[,<rule>...] <reason>
 //
 // placed on the offending line or the line directly above it. The reason
-// is mandatory: a suppression without one is itself reported (rule
-// "directive").
+// is mandatory, the rule name must be a real analyzer, and the analyzer
+// it names must actually report on the covered lines: a malformed,
+// unknown-rule, or stale directive is itself reported (rule
+// "directive"), so suppressions cannot rot silently as code moves.
 package lint
 
 import (
@@ -52,18 +62,35 @@ type Package struct {
 	Files    []*ast.File
 	Info     *types.Info
 	Types    *types.Package
+	// TypeErrors holds the type-checker diagnostics collected while
+	// loading the package. The linter keeps analyzing a package that
+	// fails to type-check (go build is the compile gate), but the errors
+	// surface as "typecheck" findings so a broken package can never slip
+	// through analysis silently.
+	TypeErrors []types.Error
 }
 
-// An Analyzer checks one invariant. Run reports findings through report;
-// the framework attaches the rule name, resolves positions, and applies
-// //lint:ignore suppressions.
+// An Analyzer checks one invariant within a single package. Run reports
+// findings through report; the framework attaches the rule name,
+// resolves positions, and applies //lint:ignore suppressions.
 type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(pkg *Package, report func(pos token.Pos, format string, args ...any))
 }
 
-// Analyzers returns the full ordered rule set.
+// A ProgramAnalyzer checks a whole-program invariant: its Run sees every
+// loaded package at once, so it can build callgraphs and track dataflow
+// across package boundaries. All packages share one token.FileSet, so a
+// token.Pos from any of them resolves through pkgs[0].Fset. The
+// callgraph-aware analyzers in lint/flow have this shape.
+type ProgramAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(pkgs []*Package, report func(pos token.Pos, format string, args ...any))
+}
+
+// Analyzers returns the full ordered per-package rule set.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		WalltimeAnalyzer(),
@@ -75,32 +102,98 @@ func Analyzers() []*Analyzer {
 	}
 }
 
-// Run executes the given analyzers over the packages and returns the
-// surviving (unsuppressed) findings sorted by position. Malformed
-// suppression directives are reported under the pseudo-rule "directive".
+// FlowRules names the callgraph-aware ProgramAnalyzers implemented in
+// the lint/flow subpackage. The list is declared here — not discovered —
+// so directive validation recognizes their suppressions even in runs
+// that load only the per-package analyzers (lint cannot import flow:
+// flow imports lint). flow's tests assert the two lists stay in sync.
+func FlowRules() []string {
+	return []string{"floatsum", "hotalloc", "rngflow", "sharedstate"}
+}
+
+// pseudoRules are rule names the framework itself reports under; they
+// are legal in //lint:ignore directives like any analyzer name.
+var pseudoRules = []string{"directive", "typecheck"}
+
+// Run executes the given per-package analyzers over the packages and
+// returns the surviving (unsuppressed) findings. It is RunProgram with
+// no program analyzers.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	return RunProgram(pkgs, analyzers, nil)
+}
+
+// RunProgram executes the per-package analyzers and the whole-program
+// analyzers over the packages and returns the surviving (unsuppressed)
+// findings sorted by (file, line, rule, column) — a total order
+// independent of package walk order, so -json output diffs cleanly in
+// CI. Directive problems (malformed, unknown rule, stale suppression)
+// and type-check failures are reported under the pseudo-rules
+// "directive" and "typecheck".
+func RunProgram(pkgs []*Package, analyzers []*Analyzer, programs []*ProgramAnalyzer) []Finding {
 	var out []Finding
+
+	// A package that fails type-checking is a diagnostic, not a silent
+	// best-effort analysis: surface the first few errors with positions.
+	const maxTypeErrors = 3
 	for _, pkg := range pkgs {
-		sup, bad := collectDirectives(pkg)
-		out = append(out, bad...)
-		for _, a := range analyzers {
-			a := a
-			report := func(pos token.Pos, format string, args ...any) {
-				p := pkg.Fset.Position(pos)
-				if sup.suppressed(a.Name, p) {
-					return
-				}
+		for i, te := range pkg.TypeErrors {
+			if i >= maxTypeErrors {
 				out = append(out, Finding{
-					Rule: a.Name,
-					File: p.Filename,
-					Line: p.Line,
-					Col:  p.Column,
-					Msg:  fmt.Sprintf(format, args...),
+					Rule: "typecheck",
+					File: pkg.Fset.Position(pkg.Files[0].Pos()).Filename,
+					Line: 1,
+					Col:  1,
+					Msg:  fmt.Sprintf("%s: %d more type errors not shown", pkg.Path, len(pkg.TypeErrors)-maxTypeErrors),
 				})
+				break
 			}
-			a.Run(pkg, report)
+			p := te.Fset.Position(te.Pos)
+			out = append(out, Finding{
+				Rule: "typecheck",
+				File: p.Filename,
+				Line: p.Line,
+				Col:  p.Column,
+				Msg:  fmt.Sprintf("package %s does not type-check: %s", pkg.Path, te.Msg),
+			})
 		}
 	}
+
+	dirs, bad := collectDirectives(pkgs)
+	out = append(out, bad...)
+
+	enabled := map[string]bool{}
+	reporter := func(pkg *Package, name string) func(pos token.Pos, format string, args ...any) {
+		return func(pos token.Pos, format string, args ...any) {
+			p := pkg.Fset.Position(pos)
+			if dirs.suppressed(name, p) {
+				return
+			}
+			out = append(out, Finding{
+				Rule: name,
+				File: p.Filename,
+				Line: p.Line,
+				Col:  p.Column,
+				Msg:  fmt.Sprintf(format, args...),
+			})
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			enabled[a.Name] = true
+			a.Run(pkg, reporter(pkg, a.Name))
+		}
+	}
+	if len(pkgs) > 0 {
+		for _, pa := range programs {
+			enabled[pa.Name] = true
+			// Program analyzers report positions from the shared FileSet;
+			// attribute through the first package for position resolution.
+			pa.Run(pkgs, reporter(pkgs[0], pa.Name))
+		}
+	}
+
+	out = append(out, dirs.problems(enabled)...)
+
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].File != out[j].File {
 			return out[i].File < out[j].File
@@ -108,27 +201,47 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		if out[i].Line != out[j].Line {
 			return out[i].Line < out[j].Line
 		}
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
 		if out[i].Col != out[j].Col {
 			return out[i].Col < out[j].Col
 		}
-		return out[i].Rule < out[j].Rule
+		return out[i].Msg < out[j].Msg
 	})
 	return out
 }
 
-// suppressions maps file -> line -> rules ignored on that line.
-type suppressions map[string]map[int][]string
+// directive is one rule named by one //lint:ignore comment, tracking
+// whether it suppressed anything this run.
+type directive struct {
+	file string
+	line int
+	col  int
+	rule string
+	used bool
+}
 
-func (s suppressions) suppressed(rule string, p token.Position) bool {
-	lines := s[p.Filename]
+// directiveSet indexes directives by file and line for suppression
+// lookups, keeping collection order for deterministic problem reports.
+type directiveSet struct {
+	byLoc map[string]map[int][]*directive
+	all   []*directive
+}
+
+// suppressed reports whether rule is ignored at position p, marking the
+// matching directive used. A directive covers its own line and the line
+// below it, so both trailing ("stmt //lint:ignore ...") and preceding
+// placements work.
+func (d *directiveSet) suppressed(rule string, p token.Position) bool {
+	lines := d.byLoc[p.Filename]
 	if lines == nil {
 		return false
 	}
-	// A directive covers its own line and the line below it, so both
-	// trailing ("stmt //lint:ignore ...") and preceding placements work.
 	for _, ln := range []int{p.Line, p.Line - 1} {
-		for _, r := range lines[ln] {
-			if r == rule {
+		for _, e := range lines[ln] {
+			if e.rule == rule {
+				e.used = true
 				return true
 			}
 		}
@@ -136,47 +249,96 @@ func (s suppressions) suppressed(rule string, p token.Position) bool {
 	return false
 }
 
+// problems reports directive hygiene findings after a run: directives
+// naming a rule no analyzer has (typo or removed analyzer), and
+// directives whose rule ran but reported nothing on the covered lines
+// (stale suppressions left behind when the offending code moved or was
+// fixed). Rules that exist but were not enabled this run are skipped —
+// a -enable subset must not flag every other rule's suppressions.
+func (d *directiveSet) problems(enabled map[string]bool) []Finding {
+	known := map[string]bool{}
+	for name := range enabled {
+		known[name] = true
+	}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, name := range FlowRules() {
+		known[name] = true
+	}
+	for _, name := range pseudoRules {
+		known[name] = true
+	}
+	var out []Finding
+	for _, e := range d.all {
+		switch {
+		case !known[e.rule]:
+			out = append(out, Finding{
+				Rule: "directive",
+				File: e.file,
+				Line: e.line,
+				Col:  e.col,
+				Msg:  fmt.Sprintf("//lint:ignore names unknown analyzer %q (typo, or the analyzer was removed)", e.rule),
+			})
+		case enabled[e.rule] && !e.used:
+			out = append(out, Finding{
+				Rule: "directive",
+				File: e.file,
+				Line: e.line,
+				Col:  e.col,
+				Msg:  fmt.Sprintf("stale //lint:ignore: %s reports nothing on this line; delete the suppression", e.rule),
+			})
+		}
+	}
+	return out
+}
+
 const directivePrefix = "//lint:ignore"
 
-// collectDirectives scans a package's comments for //lint:ignore
+// collectDirectives scans every package's comments for //lint:ignore
 // directives. Malformed directives (missing rule or reason) come back as
 // findings so they cannot silently suppress nothing.
-func collectDirectives(pkg *Package) (suppressions, []Finding) {
-	sup := suppressions{}
+func collectDirectives(pkgs []*Package) (*directiveSet, []Finding) {
+	dirs := &directiveSet{byLoc: map[string]map[int][]*directive{}}
 	var bad []Finding
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, directivePrefix) {
-					continue
-				}
-				p := pkg.Fset.Position(c.Pos())
-				rest := strings.TrimPrefix(c.Text, directivePrefix)
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
-					bad = append(bad, Finding{
-						Rule: "directive",
-						File: p.Filename,
-						Line: p.Line,
-						Col:  p.Column,
-						Msg:  "malformed //lint:ignore directive: want \"//lint:ignore <rule> <reason>\"",
-					})
-					continue
-				}
-				m := sup[p.Filename]
-				if m == nil {
-					m = map[int][]string{}
-					sup[p.Filename] = m
-				}
-				for _, rule := range strings.Split(fields[0], ",") {
-					if rule != "" {
-						m[p.Line] = append(m[p.Line], rule)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, directivePrefix) {
+						continue
+					}
+					p := pkg.Fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, directivePrefix)
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						bad = append(bad, Finding{
+							Rule: "directive",
+							File: p.Filename,
+							Line: p.Line,
+							Col:  p.Column,
+							Msg:  "malformed //lint:ignore directive: want \"//lint:ignore <rule> <reason>\"",
+						})
+						continue
+					}
+					m := dirs.byLoc[p.Filename]
+					if m == nil {
+						m = map[int][]*directive{}
+						dirs.byLoc[p.Filename] = m
+					}
+					for _, rule := range strings.Split(fields[0], ",") {
+						if rule == "" {
+							continue
+						}
+						e := &directive{file: p.Filename, line: p.Line, col: p.Column, rule: rule}
+						m[p.Line] = append(m[p.Line], e)
+						dirs.all = append(dirs.all, e)
 					}
 				}
 			}
 		}
 	}
-	return sup, bad
+	return dirs, bad
 }
 
 // pkgFunc reports whether sel is a selector of function name on the

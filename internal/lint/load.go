@@ -1,14 +1,17 @@
 package lint
 
 import (
+	"bufio"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -26,6 +29,7 @@ type Loader struct {
 	std     types.Importer
 	pkgs    map[string]*Package // memoized repo packages by import path
 	loading map[string]bool     // cycle guard
+	notes   []string            // diagnostics about skipped files/dirs
 }
 
 var _ types.Importer = (*Loader)(nil)
@@ -48,11 +52,40 @@ func NewLoader(root string) (*Loader, error) {
 	}, nil
 }
 
+// NewFixtureLoader returns a loader rooted at a standalone fixture
+// directory with no go.mod, under the synthetic module path
+// "fixturemod". Fixtures may only import the standard library and each
+// other. Analyzer tests — including the callgraph fixtures in
+// lint/flow — load their testdata trees through this.
+func NewFixtureLoader(dir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		root:    dir,
+		module:  "fixturemod",
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+}
+
 // Module returns the module path ("protean").
 func (l *Loader) Module() string { return l.module }
 
+// Notes returns human-readable diagnostics about files and directories
+// the loader deliberately did not analyze — files excluded by build
+// constraints and directories containing only _test.go files. A skip is
+// never silent: cmd/protean-lint prints these to stderr so a package
+// dropping out of analysis is visible in CI logs.
+func (l *Loader) Notes() []string {
+	out := make([]string, len(l.notes))
+	copy(out, l.notes)
+	return out
+}
+
 // LoadAll walks the module tree and loads every package containing
-// non-test Go files, returning them sorted by import path.
+// non-test Go files, returning them sorted by import path. Directories
+// holding only test files are recorded as Notes, not silently skipped.
 func (l *Loader) LoadAll() ([]*Package, error) {
 	var dirs []string
 	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
@@ -67,8 +100,12 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 			name == "testdata" || name == "vendor") {
 			return filepath.SkipDir
 		}
-		if hasGoFiles(path) {
+		switch goFileKind(path) {
+		case dirHasSources:
 			dirs = append(dirs, path)
+		case dirTestOnly:
+			l.notes = append(l.notes,
+				fmt.Sprintf("%s: package has only _test.go files; not analyzed (analyzers exempt tests)", path))
 		}
 		return nil
 	})
@@ -131,8 +168,14 @@ func (l *Loader) load(ipath string) (*Package, error) {
 }
 
 // LoadDir parses and type-checks the non-test Go files of a single
-// directory as the package ipath. It is exported for fixture-based
-// analyzer tests, which check standalone directories under testdata/.
+// directory as the package ipath. Files whose build constraints exclude
+// the default cgo-free linux context are skipped with a Note, mirroring
+// what `go build` would compile. Type-check errors do not abort the
+// load: they are collected into Package.TypeErrors, which RunProgram
+// reports under the "typecheck" pseudo-rule, so a broken package is a
+// diagnostic rather than a silent skip. LoadDir is exported for
+// fixture-based analyzer tests, which check standalone directories
+// under testdata/.
 func (l *Loader) LoadDir(dir, ipath string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -145,7 +188,12 @@ func (l *Loader) LoadDir(dir, ipath string) (*Package, error) {
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
 			continue
 		}
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		path := filepath.Join(dir, name)
+		if ok, why := fileMatchesBuildContext(path); !ok {
+			l.notes = append(l.notes, fmt.Sprintf("%s: skipped (%s)", path, why))
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
 		}
@@ -160,43 +208,115 @@ func (l *Loader) LoadDir(dir, ipath string) (*Package, error) {
 		Defs:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
+	var typeErrs []types.Error
 	conf := types.Config{
 		Importer: l,
-		// go build is the compile gate; the linter keeps analyzing in
-		// the face of type errors so it can run on in-progress trees.
-		Error: func(error) {},
+		// go build is the compile gate; the linter keeps analyzing in the
+		// face of type errors so it can run on in-progress trees — but the
+		// errors are kept and surfaced as "typecheck" findings.
+		Error: func(err error) {
+			if te, ok := err.(types.Error); ok && !te.Soft {
+				typeErrs = append(typeErrs, te)
+			}
+		},
 	}
 	tpkg, err := conf.Check(ipath, l.Fset, files, info)
 	if err != nil && tpkg == nil {
 		return nil, fmt.Errorf("lint: typecheck %s: %w", ipath, err)
 	}
 	return &Package{
-		Path:     ipath,
-		Internal: isInternalPath(ipath),
-		Fset:     l.Fset,
-		Files:    files,
-		Info:     info,
-		Types:    tpkg,
+		Path:       ipath,
+		Internal:   isInternalPath(ipath),
+		Fset:       l.Fset,
+		Files:      files,
+		Info:       info,
+		Types:      tpkg,
+		TypeErrors: typeErrs,
 	}, nil
+}
+
+// fileMatchesBuildContext reports whether the //go:build (or legacy
+// // +build) constraints at the top of the file are satisfied by the
+// lint build context: the host GOOS/GOARCH, the gc toolchain, and cgo
+// disabled — the same context the deterministic simulator is built
+// under. Files opting out (e.g. //go:build cgo, //go:build windows on
+// linux) are skipped exactly like `go build` would skip them.
+func fileMatchesBuildContext(path string) (bool, string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return true, "" // let the parser produce the real error
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(line) && !constraint.IsPlusBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			continue
+		}
+		if !expr.Eval(buildTagMatches) {
+			return false, fmt.Sprintf("excluded by build constraint %q", line)
+		}
+	}
+	return true, ""
+}
+
+// buildTagMatches defines the lint build context: host OS/arch, gc,
+// current release tags, cgo off. Unknown tags are false.
+func buildTagMatches(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "cgo":
+		return false
+	}
+	// Release tags: go1.N is true for every N up to the toolchain's
+	// version; approximate with the prefix, which is right for any
+	// release this module (go 1.21+) builds under.
+	return strings.HasPrefix(tag, "go1.")
 }
 
 func isInternalPath(ipath string) bool {
 	return strings.Contains(ipath, "/internal/") || strings.HasSuffix(ipath, "/internal")
 }
 
-func hasGoFiles(dir string) bool {
+// dirKind classifies a directory's Go file population.
+type dirKind int
+
+const (
+	dirNoGo dirKind = iota
+	dirHasSources
+	dirTestOnly
+)
+
+// goFileKind reports whether dir contains analyzable Go sources, only
+// _test.go files, or no Go files at all.
+func goFileKind(dir string) dirKind {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return false
+		return dirNoGo
 	}
+	kind := dirNoGo
 	for _, e := range entries {
 		name := e.Name()
-		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
-			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
-			return true
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
 		}
+		if strings.HasSuffix(name, "_test.go") {
+			if kind == dirNoGo {
+				kind = dirTestOnly
+			}
+			continue
+		}
+		return dirHasSources
 	}
-	return false
+	return kind
 }
 
 func modulePath(gomod string) (string, error) {

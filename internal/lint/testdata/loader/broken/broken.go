@@ -1,0 +1,8 @@
+// Package broken parses but does not type-check; the loader must keep
+// it (with TypeErrors populated) so the failure surfaces as a
+// "typecheck" finding rather than a silent skip.
+package broken
+
+func F() int {
+	return deliberatelyUndefined
+}

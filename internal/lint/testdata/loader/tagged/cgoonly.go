@@ -1,0 +1,10 @@
+//go:build cgo
+// +build cgo
+
+package tagged
+
+// If the loader wrongly included this file, the undefined call below
+// would surface as a type error — the test asserts it does not.
+func cgoOnly() {
+	deliberatelyUndefinedWhenCgoIsOff()
+}

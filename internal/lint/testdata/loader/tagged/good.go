@@ -1,0 +1,6 @@
+// Package tagged has one file gated behind a cgo build tag; the loader
+// must skip that file (with a note) exactly as go build would.
+package tagged
+
+// Ok is the only symbol in the default build context.
+func Ok() int { return 1 }

@@ -1,0 +1,7 @@
+// Package testonly has no non-test sources: the loader must record a
+// diagnostic note for it instead of silently skipping the directory.
+package testonly
+
+import "testing"
+
+func TestNothing(t *testing.T) {}

@@ -1,0 +1,23 @@
+// Package staledir exercises directive hygiene: suppressions naming
+// unknown analyzers and suppressions whose analyzer reports nothing are
+// themselves findings.
+package staledir
+
+// Sum is deliberately order-free so maporder has nothing to report and
+// the suppression below is stale.
+func Sum(m map[string]int) int {
+	total := 0
+	//lint:ignore maporder nothing on this line fires, so this is stale
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Keys is clean; the directive names a rule that does not exist.
+func Keys(m map[string]int) int {
+	//lint:ignore nosuchrule the analyzer name is a typo
+	n := len(m)
+	//lint:ignore walltime real rule, but not enabled in this fixture run
+	return n
+}

@@ -38,11 +38,13 @@ func (t *Timer) At() float64 { return t.at }
 
 // Active reports whether the timer is still pending (not fired, not
 // cancelled).
+//protean:hotpath
 func (t *Timer) Active() bool { return t != nil && !t.cancelled && t.index >= 0 }
 
 // Cancel prevents the timer from firing. It reports whether the timer was
 // still pending. Cancelling an already-fired or already-cancelled timer is
 // a no-op.
+//protean:hotpath
 func (t *Timer) Cancel() bool {
 	if t == nil || t.cancelled || t.index < 0 {
 		return false
@@ -63,6 +65,7 @@ func (t *Timer) Cancel() bool {
 // Unlike the cancel-and-reallocate pattern, the heap entry is updated in
 // place (container/heap.Fix), so the hot rebalance path allocates
 // nothing and leaves no dead timers behind.
+//protean:hotpath
 func (t *Timer) Reschedule(at float64) error {
 	if t == nil || t.sim == nil || t.fn == nil {
 		return errors.New("sim: reschedule of a timer not created by this simulation")
@@ -142,6 +145,7 @@ func (s *Sim) At(t float64, fn func()) (*Timer, error) {
 	if fn == nil {
 		return nil, errors.New("sim: schedule nil func")
 	}
+	//lint:ignore hotalloc the Timer is the event being created; hot callers (gpu rebalance) reuse timers via Reschedule and only reach this for newly started jobs
 	tm := &Timer{at: t, seq: s.seq, fn: fn, index: -1, sim: s}
 	s.seq++
 	heap.Push(&s.queue, tm)
@@ -178,6 +182,7 @@ func (s *Sim) Stop() { s.stopped = true }
 // Pending returns the number of queued (uncancelled) events. The count
 // is maintained incrementally on every push, pop and cancel, so this is
 // O(1) — it also drives the opportunistic heap compaction below.
+//protean:hotpath
 func (s *Sim) Pending() int { return s.active }
 
 // compactMinLen is the heap size below which compaction never triggers:
@@ -192,6 +197,7 @@ const compactMinLen = 32
 // bound until lazy deletion catches up. Rebuilding via heap.Init is
 // safe for determinism: the (time, sequence) order is total, so the
 // pop sequence is independent of the heap's internal layout.
+//protean:hotpath
 func (s *Sim) maybeCompact() {
 	n := len(s.queue)
 	if n < compactMinLen || n-s.active <= s.active {
@@ -204,6 +210,7 @@ func (s *Sim) maybeCompact() {
 			continue
 		}
 		tm.index = len(live)
+		//lint:ignore hotalloc refills s.queue[:0] in place; live never exceeds len(s.queue), so the append cannot grow the backing array
 		live = append(live, tm)
 	}
 	for i := len(live); i < n; i++ {

@@ -309,6 +309,7 @@ func (f *Fleet) release(node int) {
 
 // spotAvailable samples whether a spot request succeeds right now.
 func (f *Fleet) spotAvailable() bool {
+	//lint:ignore rngflow safe while a scenario is single-goroutine: market events execute in event-loop order; sharding (ROADMAP 1) must give the fleet a derived child stream
 	return f.sim.Rand().Float64() >= f.cfg.Availability.PRev
 }
 
@@ -321,6 +322,7 @@ func (f *Fleet) checkRevocations() {
 		if l == nil || l.kind != KindSpot || f.states[i] != nodeUp {
 			continue
 		}
+		//lint:ignore rngflow safe while a scenario is single-goroutine: revocation sampling runs in event-loop order; sharding (ROADMAP 1) must give the fleet a derived child stream
 		if f.sim.Rand().Float64() >= f.cfg.Availability.PRev {
 			continue
 		}
@@ -335,6 +337,7 @@ func (f *Fleet) notice(i int) {
 	f.notices++
 	f.noticeGen[i]++
 	gen := f.noticeGen[i]
+	//lint:ignore rngflow safe while a scenario is single-goroutine: notice lead-time draws happen in event-loop order; sharding (ROADMAP 1) must give the fleet a derived child stream
 	notice := f.cfg.NoticeMin + f.sim.Rand().Float64()*(f.cfg.NoticeMax-f.cfg.NoticeMin)
 	deadline := f.sim.Now() + notice
 	f.states[i] = nodeDraining
