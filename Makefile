@@ -36,12 +36,19 @@ race:
 
 # Run the hot-path benchmarks and regenerate BENCH_PR4.json, joining the
 # fresh numbers against the recorded pre-optimization run in
-# bench/baseline.txt (speedup = baseline ns/op ÷ current ns/op).
+# bench/baseline.txt (speedup = baseline ns/op ÷ current ns/op), then
+# the sharded event-loop benchmark into BENCH_PR7.json (events/sec per
+# -shards level; the shards=4 / shards=1 ratio is the sharding speedup,
+# ~1.0 on a single-CPU runner).
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem \
+	$(GO) test -run '^$$' -bench . -benchmem -skip BenchmarkShardedScenario \
 		./internal/gpu ./internal/sim ./internal/experiments \
 		| $(GO) run ./cmd/protean-benchjson -baseline bench/baseline.txt -o BENCH_PR4.json
 	@echo wrote BENCH_PR4.json
+	$(GO) test -run '^$$' -bench BenchmarkShardedScenario -benchtime 2x \
+		./internal/experiments \
+		| $(GO) run ./cmd/protean-benchjson -o BENCH_PR7.json
+	@echo wrote BENCH_PR7.json
 
 # Smoke-run a pair of cheap experiments through the parallel scenario
 # runner; CI uses this to catch runner regressions end to end.

@@ -52,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		seeds    = fs.Int("seeds", 1, "replications under derived sub-seeds; >1 reports mean ± 95% CI")
 		parallel = fs.Int("parallel", 0, "scenario worker goroutines (0 = all CPUs, 1 = sequential)")
+		shards   = fs.Int("shards", 1, "within-scenario shard workers; output is byte-identical at every value")
 		quick    = fs.Bool("quick", false, "smaller model sweeps and durations")
 		asJSON   = fs.Bool("json", false, "emit JSON instead of text tables")
 		format   = fs.String("format", "text", "table format: text, markdown, csv")
@@ -130,6 +131,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Warmup:   *warmup,
 		Seed:     *seed,
 		Parallel: *parallel,
+		Shards:   *shards,
 		Quick:    *quick,
 	}
 	if *traceOut != "" {

@@ -35,6 +35,11 @@ type Result struct {
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 
+	// Metrics holds custom b.ReportMetric columns (e.g. "events/sec")
+	// keyed by unit; map keys encode sorted, so output stays
+	// deterministic.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+
 	BaselineNsPerOp     *float64 `json:"baseline_ns_per_op,omitempty"`
 	BaselineBytesPerOp  *float64 `json:"baseline_bytes_per_op,omitempty"`
 	BaselineAllocsPerOp *float64 `json:"baseline_allocs_per_op,omitempty"`
@@ -42,16 +47,22 @@ type Result struct {
 	Speedup *float64 `json:"speedup,omitempty"`
 }
 
-// benchLine matches a `go test -bench` result row:
+// benchLine matches the fixed prefix of a `go test -bench` result row:
 //
-//	BenchmarkName/sub=8-16   123456   789.0 ns/op   12 B/op   3 allocs/op
+//	BenchmarkName/sub=8-16   123456   789.0 ns/op   ...
 //
-// The -benchmem columns are optional.
+// Everything after ns/op is a sequence of "value unit" columns parsed
+// by metricCol: the optional -benchmem pair plus any b.ReportMetric
+// extras, which the testing package prints between ns/op and B/op.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
 
 // cpuSuffix is the trailing -N GOMAXPROCS marker on benchmark names.
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// metricCol matches one "value unit" column after the standard ones —
+// the shape b.ReportMetric emits (e.g. "1296030 events/sec").
+var metricCol = regexp.MustCompile(`([0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?)\s+(\S+)`)
 
 func parseBench(r io.Reader) (map[string]*Result, []string, error) {
 	out := map[string]*Result{}
@@ -73,16 +84,22 @@ func parseBench(r io.Reader) (map[string]*Result, []string, error) {
 			return nil, nil, fmt.Errorf("parse %q: %w", sc.Text(), err)
 		}
 		res := &Result{Name: name, Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			b, err := strconv.ParseFloat(m[4], 64)
+		for _, mc := range metricCol.FindAllStringSubmatch(sc.Text()[len(m[0]):], -1) {
+			v, err := strconv.ParseFloat(mc[1], 64)
 			if err != nil {
 				return nil, nil, fmt.Errorf("parse %q: %w", sc.Text(), err)
 			}
-			a, err := strconv.ParseFloat(m[5], 64)
-			if err != nil {
-				return nil, nil, fmt.Errorf("parse %q: %w", sc.Text(), err)
+			switch mc[2] {
+			case "B/op":
+				res.BytesPerOp = &v
+			case "allocs/op":
+				res.AllocsPerOp = &v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[mc[2]] = v
 			}
-			res.BytesPerOp, res.AllocsPerOp = &b, &a
 		}
 		if _, dup := out[name]; !dup {
 			order = append(order, name)

@@ -99,6 +99,47 @@ func TestNoBenchmemColumns(t *testing.T) {
 	t.Fatal("BenchmarkNoMem not parsed")
 }
 
+func TestCustomMetricColumns(t *testing.T) {
+	// b.ReportMetric columns print between ns/op and the -benchmem pair;
+	// both placements must parse, and B/op and allocs/op must land in
+	// their dedicated fields rather than the metrics map.
+	const sample = `
+BenchmarkShardedScenario/vision/shards=4-16 	       2	 428546130 ns/op	   1296030 events/sec
+BenchmarkWithMem-16                         	    1000	      1500 ns/op	       42.5 items/op	     128 B/op	       3 allocs/op
+PASS
+`
+	results, _, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := results["BenchmarkShardedScenario/vision/shards=4"]
+	if sharded == nil {
+		t.Fatal("sharded benchmark not parsed")
+	}
+	if got := sharded.Metrics["events/sec"]; got != 1296030 {
+		t.Errorf("events/sec = %v, want 1296030", got)
+	}
+	if sharded.BytesPerOp != nil || sharded.AllocsPerOp != nil {
+		t.Errorf("no-benchmem row grew memory columns: %+v", sharded)
+	}
+	mem := results["BenchmarkWithMem"]
+	if mem == nil {
+		t.Fatal("benchmem benchmark not parsed")
+	}
+	if got := mem.Metrics["items/op"]; got != 42.5 {
+		t.Errorf("items/op = %v, want 42.5", got)
+	}
+	if mem.BytesPerOp == nil || *mem.BytesPerOp != 128 {
+		t.Errorf("B/op = %v, want 128", mem.BytesPerOp)
+	}
+	if mem.AllocsPerOp == nil || *mem.AllocsPerOp != 3 {
+		t.Errorf("allocs/op = %v, want 3", mem.AllocsPerOp)
+	}
+	if _, stray := mem.Metrics["B/op"]; stray {
+		t.Error("B/op leaked into the metrics map")
+	}
+}
+
 func TestDeterministicOutput(t *testing.T) {
 	var a, b bytes.Buffer
 	if err := run(nil, strings.NewReader(sampleCurrent), &a, io.Discard); err != nil {

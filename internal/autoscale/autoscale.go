@@ -58,7 +58,11 @@ type Scaler struct {
 	spawned    int
 }
 
-// NewScaler returns a scaler bound to the node's virtual clock.
+// NewScaler returns a scaler bound to the node's virtual clock. Under
+// the sharded cluster s is the node's lane: the scaler reads Now and
+// emits trace events but schedules no timers of its own (keep-alive
+// expiry is evaluated lazily on access), so it inherits the lane's
+// timer affinity for free.
 func NewScaler(s *sim.Sim, cfg Config) (*Scaler, error) {
 	if s == nil {
 		return nil, errors.New("autoscale: nil sim")

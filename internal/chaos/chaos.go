@@ -3,10 +3,16 @@
 // (§4.5 and the ROADMAP north-star) beyond the spot revocations the vm
 // package already models.
 //
-// Five fault kinds are injected, all drawn from a dedicated RNG seeded
-// once from the simulation's seeded stream, so a chaos schedule is a
-// pure function of the run's seed — byte-identical across repeats and
-// across any -parallel setting:
+// Five fault kinds are injected, all drawn from dedicated child
+// streams derived (sim.Stream.Child) from the simulation's seeded
+// stream, so a chaos schedule is a pure function of the run's seed —
+// byte-identical across repeats and across any -parallel or -shards
+// setting. The Poisson fault processes (slice failures, storms) and
+// the retry jitter draw from the injector's own schedule stream, which
+// only ever runs in root-simulation context; the per-decision queries
+// that execution can reach from a per-node lane (SampleReconfig,
+// Straggler, ColdStartFailure) draw from per-node child streams whose
+// draw order is serialised by that node's own event order:
 //
 //   - GPU slice failure (Xid-style): in-flight jobs on one MIG slice
 //     are killed and the slice goes offline for a repair window.
@@ -31,7 +37,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"protean/internal/obs"
 	"protean/internal/sim"
@@ -239,6 +244,19 @@ type Targets interface {
 	InjectStorm(frac float64) int
 }
 
+// nodeChaos is the per-node fault-decision state: the stream the
+// node's queries draw from, the simulation those decisions are traced
+// on (the node's lane when the cluster binds one, the root otherwise),
+// and the counters that node accumulated. Each node's queries only
+// ever execute in that node's serialised context — its lane during a
+// phase, or the exclusive root — so no lock is needed and the draw
+// order is the node's own event order.
+type nodeChaos struct {
+	sim   *sim.Sim
+	rng   *sim.Stream
+	stats Stats
+}
+
 // Injector schedules faults on the simulation clock and answers the
 // per-decision fault queries threaded into the runtime layers. A nil
 // *Injector is valid and means "chaos disabled": every query method
@@ -246,10 +264,13 @@ type Targets interface {
 type Injector struct {
 	cfg Config
 	sim *sim.Sim
-	rng *rand.Rand
+	rng *sim.Stream // schedule stream: Poisson processes + retry jitter, root context only
 
 	targets Targets
 	nodes   int
+
+	perNode  []*nodeChaos
+	fallback nodeChaos // serves queries for nodes Start never covered (tests, direct use)
 
 	sliceTimer *sim.Timer
 	stormTimer *sim.Timer
@@ -259,8 +280,8 @@ type Injector struct {
 }
 
 // New builds an injector, or nil when cfg.Enabled is false. The
-// injector's RNG is seeded with a single draw from the simulation's
-// stream, taken here — the only draw chaos ever makes from it — so the
+// injector's schedule stream is derived as Child("chaos") from the
+// simulation's stream — derivation consumes no parent draws — so the
 // fault schedule is independent of cluster activity yet fully
 // determined by the run's seed.
 func New(s *sim.Sim, cfg Config) (*Injector, error) {
@@ -274,28 +295,58 @@ func New(s *sim.Sim, cfg Config) (*Injector, error) {
 		return nil, err
 	}
 	cfg.applyDefaults()
+	rng := s.Rand().Child("chaos")
 	return &Injector{
-		cfg: cfg,
-		sim: s,
-		//lint:ignore rngflow one-time child-stream derivation at construction — the pattern the sharded loop should adopt everywhere; only this single seed draw touches the shared stream
-		rng: rand.New(rand.NewSource(s.Rand().Int63())),
+		cfg:      cfg,
+		sim:      s,
+		rng:      rng,
+		fallback: nodeChaos{sim: s, rng: rng.Child("node/unbound")},
 	}, nil
 }
 
 // Start arms the Poisson fault processes against t. nodes is the
-// worker count slice failures are spread across. Safe on nil.
+// worker count slice failures are spread across; each node gets its
+// own decision stream, derived by node id so the assignment is stable
+// across shard counts. Safe on nil.
 func (inj *Injector) Start(t Targets, nodes int) {
 	if inj == nil || inj.stopped {
 		return
 	}
 	inj.targets = t
 	inj.nodes = nodes
+	inj.perNode = make([]*nodeChaos, nodes)
+	for i := range inj.perNode {
+		inj.perNode[i] = &nodeChaos{
+			sim: inj.sim,
+			rng: inj.rng.Child(fmt.Sprintf("node/%d", i)),
+		}
+	}
 	if inj.cfg.SliceFailRate > 0 && nodes > 0 {
 		inj.armSliceFault()
 	}
 	if inj.cfg.StormRate > 0 {
 		inj.armStorm()
 	}
+}
+
+// BindLane routes node's fault decisions (their trace events and
+// clock reads) through s — the node's lane in a sharded cluster — so
+// a query made while that lane is executing a phase never touches the
+// root simulation. Must be called after Start. Safe on nil.
+func (inj *Injector) BindLane(node int, s *sim.Sim) {
+	if inj == nil || node < 0 || node >= len(inj.perNode) || s == nil {
+		return
+	}
+	inj.perNode[node].sim = s
+}
+
+// state returns the decision state for node, falling back to a shared
+// root-context state for nodes Start never covered.
+func (inj *Injector) state(node int) *nodeChaos {
+	if node >= 0 && node < len(inj.perNode) {
+		return inj.perNode[node]
+	}
+	return &inj.fallback
 }
 
 // Stop cancels pending fault timers and neutralizes every later query:
@@ -317,13 +368,29 @@ func (inj *Injector) Stop() {
 	}
 }
 
-// Stats returns the fault counters accumulated so far. Safe on nil
-// (returns zeros).
+// Stats returns the fault counters accumulated so far, summing the
+// per-node decision counters into the schedule-level ones. Must be
+// called in root context (it reads every node's counters). Safe on
+// nil (returns zeros).
 func (inj *Injector) Stats() Stats {
 	if inj == nil {
 		return Stats{}
 	}
-	return inj.stats
+	st := inj.stats
+	for _, ns := range inj.perNode {
+		st.add(ns.stats)
+	}
+	st.add(inj.fallback.stats)
+	return st
+}
+
+// add accumulates the per-node decision counters of o into st.
+func (st *Stats) add(o Stats) {
+	st.StuckReconfigs += o.StuckReconfigs
+	st.AbortedReconfigs += o.AbortedReconfigs
+	st.Stragglers += o.Stragglers
+	st.ColdStartFailures += o.ColdStartFailures
+	st.Retries += o.Retries
 }
 
 // armSliceFault schedules the next slice failure: a Poisson process at
@@ -362,36 +429,42 @@ func (inj *Injector) armStorm() {
 // SampleReconfig decides the fate of one MIG reconfiguration as its
 // downtime begins: the downtime multiplier (1 when healthy) and
 // whether the geometry change aborts and rolls back. Implements the
-// gpu engine's ReconfigFaults hook. Safe on nil.
+// gpu engine's ReconfigFaults hook; may run on the node's lane (a
+// drain can complete inside a lane phase), so it draws from the
+// node's stream and traces through the node's sim. Safe on nil.
 func (inj *Injector) SampleReconfig(node int) (stretch float64, abort bool) {
 	if inj == nil || inj.stopped {
 		return 1, false
 	}
+	ns := inj.state(node)
 	stretch = 1
-	if inj.rng.Float64() < inj.cfg.ReconfigStuckProb {
+	if ns.rng.Float64() < inj.cfg.ReconfigStuckProb {
 		stretch = inj.cfg.ReconfigStuckFactor
-		inj.stats.StuckReconfigs++
-		inj.emit(obs.KindFaultInject, node, 0, "reconfig-stuck", stretch)
+		ns.stats.StuckReconfigs++
+		inj.emitOn(ns.sim, obs.KindFaultInject, node, 0, "reconfig-stuck", stretch)
 	}
-	if inj.rng.Float64() < inj.cfg.ReconfigAbortProb {
+	if ns.rng.Float64() < inj.cfg.ReconfigAbortProb {
 		abort = true
-		inj.stats.AbortedReconfigs++
-		inj.emit(obs.KindFaultInject, node, 0, "reconfig-abort", 0)
+		ns.stats.AbortedReconfigs++
+		inj.emitOn(ns.sim, obs.KindFaultInject, node, 0, "reconfig-abort", 0)
 	}
 	return stretch, abort
 }
 
 // Straggler samples the service-time multiplier for one batch: 1 for a
-// healthy batch, StragglerFactor for a spike. Safe on nil.
+// healthy batch, StragglerFactor for a spike. Runs in the node's
+// context (dispatch at the root or a held-batch placement on the
+// node's lane), hence the per-node stream. Safe on nil.
 func (inj *Injector) Straggler(node int, batch uint64) float64 {
 	if inj == nil || inj.stopped {
 		return 1
 	}
-	if inj.rng.Float64() >= inj.cfg.StragglerProb {
+	ns := inj.state(node)
+	if ns.rng.Float64() >= inj.cfg.StragglerProb {
 		return 1
 	}
-	inj.stats.Stragglers++
-	inj.emit(obs.KindFaultInject, node, batch, "straggler", inj.cfg.StragglerFactor)
+	ns.stats.Stragglers++
+	inj.emitOn(ns.sim, obs.KindFaultInject, node, batch, "straggler", inj.cfg.StragglerFactor)
 	return inj.cfg.StragglerFactor
 }
 
@@ -401,43 +474,54 @@ func (inj *Injector) ColdStartFailure(node int, batch uint64) bool {
 	if inj == nil || inj.stopped {
 		return false
 	}
-	if inj.rng.Float64() >= inj.cfg.ColdStartFailProb {
+	ns := inj.state(node)
+	if ns.rng.Float64() >= inj.cfg.ColdStartFailProb {
 		return false
 	}
-	inj.stats.ColdStartFailures++
-	inj.emit(obs.KindFaultInject, node, batch, "cold-start-failure", 0)
+	ns.stats.ColdStartFailures++
+	inj.emitOn(ns.sim, obs.KindFaultInject, node, batch, "cold-start-failure", 0)
 	return true
 }
 
-// RetryDelay grants (or denies) retry number attempt — attempt counts
-// failures so far, starting at 1 — returning the backoff to wait. The
-// delay grows exponentially from Retry.Base, is capped at Retry.Cap,
-// and carries deterministic uniform jitter. Safe on nil: a disabled
-// injector denies every retry, but callers only reach here after a
-// failure the same injector produced.
-func (inj *Injector) RetryDelay(attempt int) (delay float64, ok bool) {
+// RetryDelay grants (or denies) retry number attempt on node —
+// attempt counts failures so far, starting at 1 — returning the
+// backoff to wait. The delay grows exponentially from Retry.Base, is
+// capped at Retry.Cap, and carries deterministic uniform jitter drawn
+// from the node's stream (retry scheduling runs on the node's lane).
+// Safe on nil: a disabled injector denies every retry, but callers
+// only reach here after a failure the same injector produced.
+func (inj *Injector) RetryDelay(node, attempt int) (delay float64, ok bool) {
 	if inj == nil || attempt >= inj.cfg.Retry.MaxAttempts {
 		return 0, false
 	}
+	ns := inj.state(node)
 	pol := inj.cfg.Retry
 	d := pol.Base * math.Pow(pol.Factor, float64(attempt-1))
 	if d > pol.Cap {
 		d = pol.Cap
 	}
 	if pol.JitterFrac > 0 {
-		d *= 1 + pol.JitterFrac*(2*inj.rng.Float64()-1)
+		d *= 1 + pol.JitterFrac*(2*ns.rng.Float64()-1)
 	}
-	inj.stats.Retries++
+	ns.stats.Retries++
 	return d, true
 }
 
-// emit traces one chaos event when tracing is enabled.
+// emit traces one chaos event on the root simulation (schedule-stream
+// faults only fire in root context).
 func (inj *Injector) emit(kind obs.Kind, node int, batch uint64, detail string, value float64) {
-	tr := inj.sim.Tracer()
+	inj.emitOn(inj.sim, kind, node, batch, detail, value)
+}
+
+// emitOn traces one chaos event through s — the sim whose context the
+// decision ran in, so lane-phase decisions buffer into the lane's
+// deterministic merge instead of racing on the root tracer.
+func (inj *Injector) emitOn(s *sim.Sim, kind obs.Kind, node int, batch uint64, detail string, value float64) {
+	tr := s.Tracer()
 	if !tr.Enabled() {
 		return
 	}
-	ev := obs.At(inj.sim.Now(), kind)
+	ev := obs.At(s.Now(), kind)
 	ev.Node = node
 	ev.Batch = batch
 	ev.Detail = detail

@@ -62,7 +62,7 @@ func TestNilInjectorMethodsAreNeutral(t *testing.T) {
 	if inj.ColdStartFailure(0, 1) {
 		t.Error("nil ColdStartFailure = true, want false")
 	}
-	if d, ok := inj.RetryDelay(1); ok || d != 0 {
+	if d, ok := inj.RetryDelay(0, 1); ok || d != 0 {
 		t.Errorf("nil RetryDelay = (%v, %v), want (0, false)", d, ok)
 	}
 	if st := inj.Stats(); st != (Stats{}) {
@@ -160,7 +160,7 @@ func TestRetryDelayBackoffAndExhaustion(t *testing.T) {
 		{9, 0, false},
 	}
 	for _, w := range wants {
-		d, ok := inj.RetryDelay(w.attempt)
+		d, ok := inj.RetryDelay(0, w.attempt)
 		if ok != w.ok || math.Abs(d-w.delay) > 1e-12 {
 			t.Errorf("RetryDelay(%d) = (%v, %v), want (%v, %v)", w.attempt, d, ok, w.delay, w.ok)
 		}
@@ -180,7 +180,7 @@ func TestRetryDelayJitterBounded(t *testing.T) {
 	}
 	varied := false
 	for i := 1; i < 100; i++ {
-		d, ok := inj.RetryDelay(i)
+		d, ok := inj.RetryDelay(0, i)
 		if !ok {
 			t.Fatalf("RetryDelay(%d) denied below MaxAttempts", i)
 		}

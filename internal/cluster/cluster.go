@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"protean/internal/autoscale"
 	"protean/internal/chaos"
@@ -39,6 +40,14 @@ type Config struct {
 	// MonitorInterval is the reconfiguration monitor window W
 	// (default 2 s).
 	MonitorInterval float64
+	// DispatchQuantum is the period of the dispatch barrier (default
+	// 5 ms): batches the gateway seals are routed to nodes at the next
+	// quantum boundary. A shorter quantum tightens dispatch latency; a
+	// longer one lets the per-node shards run further between
+	// synchronisation barriers. The schedule is part of the model, so
+	// results depend on the quantum — but not on the shard worker
+	// count.
+	DispatchQuantum float64
 	// ReconfigFrac caps the fraction of GPUs reconfiguring
 	// simultaneously (default 0.3 per §4.4).
 	ReconfigFrac float64
@@ -80,6 +89,9 @@ func (c *Config) applyDefaults() {
 	if c.MonitorInterval <= 0 {
 		c.MonitorInterval = 2
 	}
+	if c.DispatchQuantum <= 0 {
+		c.DispatchQuantum = 0.005
+	}
 	if c.ReconfigFrac <= 0 {
 		c.ReconfigFrac = 0.3
 	}
@@ -95,10 +107,16 @@ type heldBatch struct {
 	cold  float64
 }
 
-// node is one GPU worker.
+// node is one GPU worker. Each node runs on its own simulation lane
+// (shard): its GPU, scaler, jitter stream, and the counters below are
+// only ever touched from that lane's phases or from the root's
+// exclusive barrier events, so no node state needs locking and the
+// node's event order is independent of every other shard.
 type node struct {
 	id      int
 	cluster *Cluster
+	sim     *sim.Sim    // the node's lane
+	rng     *sim.Stream // service-jitter stream, derived per node
 	gpu     *gpu.GPU
 	policy  core.Policy
 	scaler  *autoscale.Scaler
@@ -110,6 +128,12 @@ type node struct {
 
 	beBatchesWindow int
 	lastBEModel     *model.Model
+
+	// Lane-local accumulators, merged in node order after the run.
+	recorder  metrics.Recorder
+	timeline  []GeometryEvent
+	completed int
+	dropped   int
 }
 
 // GeometryEvent records one geometry installation (for Figure 7).
@@ -119,21 +143,29 @@ type GeometryEvent struct {
 	Geometry string  `json:"geometry"`
 }
 
-// Cluster is the running platform.
+// Cluster is the running platform. The root simulation hosts the
+// coordinator (dispatch, monitor, VM market, chaos schedule); the
+// gateway (arrivals and batching) and every node run on lanes of that
+// root. Sealed batches cross from the gateway shard to the
+// coordinator through the sealed mailbox, drained in seal order at
+// each dispatch-quantum barrier.
 type Cluster struct {
 	cfg      Config
-	sim      *sim.Sim
+	sim      *sim.Sim // root
+	gateway  *sim.Sim // arrival/batching lane
 	nodes    []*node
 	batcher  *queue.Batcher
 	budget   *reconfig.Budget
 	fleet    *vm.Fleet
 	recorder *metrics.Recorder
 
+	sealed        []*queue.Batch // gateway→coordinator mailbox, FIFO
+	quantum       *sim.Ticker
 	pendingGlobal []*queue.Batch
 	monitor       *sim.Ticker
 	stopped       bool
 	timeline      []GeometryEvent
-	dropped       int
+	dropped       int // gateway-side drops (arrival enqueue failures)
 	notices       int
 
 	chaos     *chaos.Injector
@@ -166,6 +198,9 @@ func New(s *sim.Sim, cfg Config) (*Cluster, error) {
 	cfg.applyDefaults()
 
 	c := &Cluster{cfg: cfg, sim: s, recorder: &metrics.Recorder{}}
+	// The gateway lane is created first so its trace events sort ahead
+	// of node-lane events at equal timestamps (arrival before service).
+	c.gateway = s.Lane("gateway")
 	budget, err := reconfig.NewBudget(cfg.Nodes, cfg.ReconfigFrac)
 	if err != nil {
 		return nil, err
@@ -190,7 +225,11 @@ func New(s *sim.Sim, cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d geometry: %w", i, err)
 		}
-		g, err := gpu.NewGPUWithArch(s, i, arch, geom, pol.Sharing())
+		// Everything node-local — GPU timers, scaler clock reads, jitter
+		// draws — lives on the node's lane so it advances independently
+		// of the other shards between barriers.
+		ns := s.Lane(fmt.Sprintf("node/%d", i))
+		g, err := gpu.NewGPUWithArch(ns, i, arch, geom, pol.Sharing())
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d GPU: %w", i, err)
 		}
@@ -203,12 +242,21 @@ func New(s *sim.Sim, cfg Config) (*Cluster, error) {
 		if c.chaos != nil {
 			g.Faults = c.chaos
 		}
-		scaler, err := autoscale.NewScaler(s, cfg.Scaler)
+		scaler, err := autoscale.NewScaler(ns, cfg.Scaler)
 		if err != nil {
 			return nil, err
 		}
 		scaler.Node = i
-		n := &node{id: i, cluster: c, gpu: g, policy: pol, scaler: scaler, up: true}
+		n := &node{
+			id:      i,
+			cluster: c,
+			sim:     ns,
+			rng:     s.Rand().Child(fmt.Sprintf("cluster/jitter/%d", i)),
+			gpu:     g,
+			policy:  pol,
+			scaler:  scaler,
+			up:      true,
+		}
 		for _, m := range cfg.PreWarm {
 			count := cfg.PreWarmCount
 			if count <= 0 {
@@ -221,7 +269,9 @@ func New(s *sim.Sim, cfg Config) (*Cluster, error) {
 		c.timeline = append(c.timeline, GeometryEvent{Time: s.Now(), Node: i, Geometry: g.Geometry().String()})
 	}
 
-	batcher, err := queue.NewBatcher(s, cfg.BatchWindow, c.dispatch)
+	// The batcher lives on the gateway lane; sealed batches land in the
+	// mailbox and cross to the coordinator at the next dispatch quantum.
+	batcher, err := queue.NewBatcher(c.gateway, cfg.BatchWindow, c.enqueueSealed)
 	if err != nil {
 		return nil, err
 	}
@@ -299,21 +349,51 @@ func (c *Cluster) Run(reqs []trace.Request, duration float64) (*Result, error) {
 			return nil, err
 		}
 	}
-	for _, req := range reqs {
-		if req.Arrival >= duration {
-			break
-		}
-		c.offered++
-		req := req
-		if _, err := c.sim.At(req.Arrival, func() {
-			if err := c.batcher.Add(req); err != nil {
-				c.dropped += 1
+	// One self-rescheduling pump walks the time-sorted trace on the
+	// gateway lane instead of pre-scheduling a timer per request: the
+	// gateway's heap stays shallow and allocation-free no matter how
+	// large the trace is, while each arrival still executes as its own
+	// event at its own timestamp (so batching behaviour is unchanged).
+	if !sort.SliceIsSorted(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival }) {
+		sorted := make([]trace.Request, len(reqs))
+		copy(sorted, reqs)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Arrival < sorted[j].Arrival })
+		reqs = sorted
+	}
+	n := sort.Search(len(reqs), func(i int) bool { return reqs[i].Arrival >= duration })
+	c.offered += n
+	if n > 0 {
+		idx := 0
+		var pump *sim.Timer
+		var err error
+		pump, err = c.gateway.At(reqs[0].Arrival, func() {
+			if err := c.batcher.Add(reqs[idx]); err != nil {
+				c.dropped++
 			}
-		}); err != nil {
+			idx++
+			if idx < n {
+				if err := pump.Reschedule(reqs[idx].Arrival); err != nil {
+					panic(err) // unreachable: arrivals are sorted, so never in the past
+				}
+			}
+		})
+		if err != nil {
 			return nil, err
 		}
 	}
 	c.chaos.Start(c, c.cfg.Nodes)
+	for i, n := range c.nodes {
+		c.chaos.BindLane(i, n.sim)
+	}
+	// The dispatch quantum is created before the monitor so that when
+	// both tickers land on the same instant (the monitor interval is a
+	// multiple of the quantum) sealed batches are routed before the
+	// monitor replans.
+	quantum, err := c.sim.Every(c.cfg.DispatchQuantum, c.drainSealed)
+	if err != nil {
+		return nil, err
+	}
+	c.quantum = quantum
 	monitor, err := c.sim.Every(c.cfg.MonitorInterval, c.monitorTick)
 	if err != nil {
 		return nil, err
@@ -343,6 +423,10 @@ func (c *Cluster) Run(reqs []trace.Request, duration float64) (*Result, error) {
 	}
 	c.stopped = true
 	c.batcher.Flush()
+	c.drainSealed()
+	// The quantum ticker must stop before the drain or its re-arming
+	// would keep the root queue alive forever.
+	c.quantum.Stop()
 	c.drainPendingGlobal()
 	for _, n := range c.nodes {
 		n.pumpHeld()
@@ -353,6 +437,7 @@ func (c *Cluster) Run(reqs []trace.Request, duration float64) (*Result, error) {
 
 	computeSum, memSum, busySum := 0.0, 0.0, 0.0
 	coldStarts, reconfigs, aborts := 0, 0, 0
+	dropped := c.dropped
 	for _, n := range c.nodes {
 		cu, mu := n.gpu.Utilization()
 		computeSum += cu
@@ -361,7 +446,14 @@ func (c *Cluster) Run(reqs []trace.Request, duration float64) (*Result, error) {
 		coldStarts += n.scaler.ColdStarts()
 		reconfigs += n.gpu.ReconfigCount()
 		aborts += n.gpu.ReconfigAborts()
+		// Merge the lane-local accumulators in node order — a fixed
+		// order, so the report does not depend on the shard count.
+		c.recorder.Merge(&n.recorder)
+		c.timeline = append(c.timeline, n.timeline...)
+		c.completed += n.completed
+		dropped += n.dropped
 	}
+	sortTimeline(c.timeline)
 	var chaosStats *chaos.Stats
 	if c.chaos != nil {
 		st := c.chaos.Stats()
@@ -370,7 +462,7 @@ func (c *Cluster) Run(reqs []trace.Request, duration float64) (*Result, error) {
 	avail := metrics.Availability{
 		Offered:   c.offered,
 		Completed: c.completed,
-		Dropped:   c.dropped,
+		Dropped:   dropped,
 		Requeued:  c.requeued,
 	}
 	if chaosStats != nil {
@@ -387,7 +479,7 @@ func (c *Cluster) Run(reqs []trace.Request, duration float64) (*Result, error) {
 		ColdStarts:      coldStarts,
 		Reconfigs:       reconfigs,
 		Timeline:        c.timeline,
-		Dropped:         c.dropped,
+		Dropped:         dropped,
 		EvictionNotices: c.notices,
 		ReconfigAborts:  aborts,
 		Availability:    avail,
@@ -424,6 +516,31 @@ func (c *Cluster) precomputeWindows(reqs []trace.Request, duration float64) {
 			c.windowBEBatches[i] = perNode
 		}
 	}
+}
+
+// enqueueSealed is the batcher's emit hook: it appends the sealed
+// batch to the gateway→coordinator mailbox. It runs in gateway-lane
+// context (window timers, seal-on-full) or in root context (the
+// teardown Flush) — never concurrently with drainSealed, which only
+// the root calls.
+func (c *Cluster) enqueueSealed(b *queue.Batch) {
+	c.sealed = append(c.sealed, b)
+}
+
+// drainSealed routes every mailbox batch to a node, in seal order —
+// the deterministic barrier drain of the dispatch quantum.
+func (c *Cluster) drainSealed() {
+	sealed := c.sealed
+	c.sealed = c.sealed[:0]
+	for _, b := range sealed {
+		c.dispatch(b)
+	}
+}
+
+// sortTimeline orders geometry events by time, keeping node order for
+// simultaneous installations (the pre-run entries all share t = 0).
+func sortTimeline(tl []GeometryEvent) {
+	sort.SliceStable(tl, func(i, j int) bool { return tl[i].Time < tl[j].Time })
 }
 
 // dispatch routes one sealed batch to the least-loaded available node.
@@ -538,8 +655,8 @@ func (n *node) accept(b *queue.Batch) {
 		n.beBatchesWindow++
 		n.lastBEModel = b.Model
 	}
-	if tr := n.cluster.sim.Tracer(); tr.Enabled() {
-		ev := obs.At(n.cluster.sim.Now(), obs.KindDispatch)
+	if tr := n.sim.Tracer(); tr.Enabled() {
+		ev := obs.At(n.sim.Now(), obs.KindDispatch)
 		ev.Node = n.id
 		ev.Batch = b.ID
 		ev.Model = b.Model.Name()
@@ -558,12 +675,12 @@ func (n *node) acquire(b *queue.Batch, attempt int) {
 	if err != nil {
 		// Defensive: Acquire only fails on empty names.
 		n.outstanding--
-		n.cluster.drop(n.id, b.ID, b.Size())
+		n.drop(b.ID, b.Size())
 		return
 	}
 	if cold > 0 {
-		if tr := n.cluster.sim.Tracer(); tr.Enabled() {
-			ev := obs.At(n.cluster.sim.Now(), obs.KindColdStart)
+		if tr := n.sim.Tracer(); tr.Enabled() {
+			ev := obs.At(n.sim.Now(), obs.KindColdStart)
 			ev.Node = n.id
 			ev.Batch = b.ID
 			ev.Model = b.Model.Name()
@@ -571,11 +688,12 @@ func (n *node) acquire(b *queue.Batch, attempt int) {
 			tr.Emit(ev)
 		}
 		if n.cluster.chaos.ColdStartFailure(n.id, b.ID) {
-			// The load fails only after the boot delay was paid.
-			n.cluster.sim.MustAfter(cold, func() { n.coldStartFailed(b, attempt) })
+			// The load fails only after the boot delay was paid. The boot
+			// timer is node-local, so it runs on the node's lane.
+			n.sim.MustAfter(cold, func() { n.coldStartFailed(b, attempt) })
 			return
 		}
-		n.cluster.sim.MustAfter(cold, func() { n.ready(b, cold) })
+		n.sim.MustAfter(cold, func() { n.ready(b, cold) })
 		return
 	}
 	n.ready(b, 0)
@@ -589,14 +707,14 @@ func (n *node) coldStartFailed(b *queue.Batch, attempt int) {
 		// Defensive: indicates an accounting bug.
 		_ = err
 	}
-	delay, ok := n.cluster.chaos.RetryDelay(attempt)
+	delay, ok := n.cluster.chaos.RetryDelay(n.id, attempt)
 	if !ok {
 		n.outstanding--
-		n.cluster.drop(n.id, b.ID, b.Size())
+		n.drop(b.ID, b.Size())
 		return
 	}
-	if tr := n.cluster.sim.Tracer(); tr.Enabled() {
-		ev := obs.At(n.cluster.sim.Now(), obs.KindRetry)
+	if tr := n.sim.Tracer(); tr.Enabled() {
+		ev := obs.At(n.sim.Now(), obs.KindRetry)
 		ev.Node = n.id
 		ev.Batch = b.ID
 		ev.Model = b.Model.Name()
@@ -605,15 +723,16 @@ func (n *node) coldStartFailed(b *queue.Batch, attempt int) {
 		ev.Requests = attempt
 		tr.Emit(ev)
 	}
-	n.cluster.sim.MustAfter(delay, func() { n.acquire(b, attempt+1) })
+	n.sim.MustAfter(delay, func() { n.acquire(b, attempt+1) })
 }
 
-// drop abandons work, counting its requests and tracing the loss.
-func (c *Cluster) drop(nodeID int, batchID uint64, requests int) {
-	c.dropped += requests
-	if tr := c.sim.Tracer(); tr.Enabled() {
-		ev := obs.At(c.sim.Now(), obs.KindDrop)
-		ev.Node = nodeID
+// drop abandons work on this node, counting its requests and tracing
+// the loss. Runs in the node's context (lane or root barrier).
+func (n *node) drop(batchID uint64, requests int) {
+	n.dropped += requests
+	if tr := n.sim.Tracer(); tr.Enabled() {
+		ev := obs.At(n.sim.Now(), obs.KindDrop)
+		ev.Node = n.id
 		ev.Batch = batchID
 		ev.Requests = requests
 		tr.Emit(ev)
@@ -636,7 +755,7 @@ func (n *node) place(b *queue.Batch, cold float64) error {
 	if err != nil {
 		return err
 	}
-	jitter := n.cluster.serviceJitter()
+	jitter := n.serviceJitter()
 	// An injected straggler spikes this batch's service time on top of
 	// the ordinary lognormal variability.
 	jitter *= n.cluster.chaos.Straggler(n.id, b.ID)
@@ -647,7 +766,7 @@ func (n *node) place(b *queue.Batch, cold float64) error {
 		SMFrac:    n.policy.SMCap(b.Strict),
 		Scale:     batchScale(b),
 		Jitter:    jitter,
-		Enqueued:  n.cluster.sim.Now(),
+		Enqueued:  n.sim.Now(),
 		ColdStart: cold,
 		TraceID:   b.ID,
 	}
@@ -663,7 +782,7 @@ func (n *node) place(b *queue.Batch, cold float64) error {
 // container.
 func (n *node) complete(b *queue.Batch, j *gpu.Job) {
 	n.outstanding--
-	n.cluster.completed += b.Size()
+	n.completed += b.Size()
 	if err := n.scaler.Release(b.Model.Name()); err != nil {
 		// Defensive: indicates an accounting bug; drop silently in
 		// production runs.
@@ -680,7 +799,7 @@ func (n *node) complete(b *queue.Batch, j *gpu.Job) {
 		lat := j.Finished() - r.Arrival
 		bd := base
 		bd.Queue = math.Max(0, j.Started()-r.Arrival-j.ColdStart)
-		n.cluster.recorder.Add(metrics.Sample{
+		n.recorder.Add(metrics.Sample{
 			Model:     b.Model.Name(),
 			Strict:    r.Strict,
 			Latency:   lat,
@@ -705,12 +824,12 @@ func (n *node) jobFailed(b *queue.Batch, j *gpu.Job) {
 		_ = err
 	}
 	if !b.Strict && len(n.cluster.pendingGlobal) > 0 {
-		n.cluster.drop(n.id, b.ID, b.Size())
+		n.drop(b.ID, b.Size())
 		return
 	}
 	n.cluster.requeued += b.Size()
-	if tr := n.cluster.sim.Tracer(); tr.Enabled() {
-		ev := obs.At(n.cluster.sim.Now(), obs.KindOrphanRequeue)
+	if tr := n.sim.Tracer(); tr.Enabled() {
+		ev := obs.At(n.sim.Now(), obs.KindOrphanRequeue)
 		ev.Node = n.id
 		ev.Batch = b.ID
 		ev.Model = b.Model.Name()
@@ -796,9 +915,12 @@ func (n *node) evacuate() {
 // reconfigure initiates a MIG geometry change on the node's GPU.
 func (n *node) reconfigure(desired gpu.Geometry) {
 	err := n.gpu.Reconfigure(desired, func(displaced []*gpu.Job) {
+		// Runs when the downtime timer fires — node-lane context, which
+		// is why the budget release is atomic and the timeline entry is
+		// lane-local.
 		n.cluster.budget.Release()
-		n.cluster.timeline = append(n.cluster.timeline, GeometryEvent{
-			Time:     n.cluster.sim.Now(),
+		n.timeline = append(n.timeline, GeometryEvent{
+			Time:     n.sim.Now(),
 			Node:     n.id,
 			Geometry: desired.String(),
 		})
@@ -830,32 +952,36 @@ func (n *node) resubmit(j *gpu.Job) {
 			}
 		}
 		if sl == nil {
-			n.cluster.dropped += j.Requests
+			n.dropped += j.Requests
 			return
 		}
 	}
 	if err := sl.Submit(j); err != nil {
-		n.cluster.drop(n.id, j.TraceID, j.Requests)
+		n.drop(j.TraceID, j.Requests)
 	}
 }
 
 // serviceJitter samples the lognormal execution-time multiplier (unit
-// mean) modelling data-dependent batch variability.
+// mean) modelling data-dependent batch variability. Each node draws
+// from its own derived stream, so the draw order is the node's own
+// placement order — independent of every other shard and of the
+// worker count.
+//
 //protean:hotpath
-func (c *Cluster) serviceJitter() float64 {
-	cv := c.cfg.ServiceJitterCV
+func (n *node) serviceJitter() float64 {
+	cv := n.cluster.cfg.ServiceJitterCV
 	if cv <= 0 {
 		return 1
 	}
 	sigma2 := math.Log(1 + cv*cv)
 	sigma := math.Sqrt(sigma2)
-	//lint:ignore rngflow safe while a scenario is single-goroutine: jitter draws happen in dispatch order on the event loop; sharding (ROADMAP 1) must draw from a per-shard child stream
-	return math.Exp(c.sim.Rand().NormFloat64()*sigma - sigma2/2)
+	return math.Exp(n.rng.NormFloat64()*sigma - sigma2/2)
 }
 
 // batchScale converts batch fill into a work/bandwidth scale: GPU batch
 // execution is sublinear in batch size, so a partial batch still pays a
 // fixed fraction of the full-batch cost.
+//
 //protean:hotpath
 func batchScale(b *queue.Batch) float64 {
 	fill := float64(b.Size()) / float64(b.Model.BatchSize())

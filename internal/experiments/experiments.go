@@ -70,6 +70,12 @@ type Params struct {
 	// Results are merged by scenario index, so reports are byte-identical
 	// at every setting.
 	Parallel int
+	// Shards is the within-scenario shard worker count: how many OS
+	// goroutines advance a single scenario's per-node simulation lanes
+	// between barriers (default 1: phases run inline). The event
+	// schedule is shard-count-independent, so reports and traces are
+	// byte-identical at every setting.
+	Shards int
 	// Trace, when non-nil, collects lifecycle events from every
 	// scenario run. Collectors are registered in scenario order before
 	// any run starts, so the merged trace is byte-identical at every
@@ -108,6 +114,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.Seed == 0 {
 		p.Seed = 1
+	}
+	if p.Shards <= 0 {
+		p.Shards = 1
 	}
 	return p
 }
@@ -188,12 +197,23 @@ type Scenario struct {
 // runScenario generates the trace and executes one cluster run. tr, when
 // non-nil, receives the run's lifecycle events.
 func runScenario(p Params, sc Scenario, tr obs.Tracer) (*cluster.Result, error) {
+	reqs, _, c, err := buildScenario(p, sc, tr)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(reqs, p.Duration)
+}
+
+// buildScenario constructs but does not run one scenario: the generated
+// request trace, the simulator (exposed so the events/sec benchmark can
+// read Executed()), and the cluster wired onto it.
+func buildScenario(p Params, sc Scenario, tr obs.Tracer) ([]trace.Request, *sim.Sim, *cluster.Cluster, error) {
 	p = p.withDefaults()
 	if sc.Policy == nil {
-		return nil, errors.New("experiments: scenario without policy")
+		return nil, nil, nil, errors.New("experiments: scenario without policy")
 	}
 	if sc.Strict == nil && sc.StrictFrac != 0 {
-		return nil, errors.New("experiments: scenario without strict model")
+		return nil, nil, nil, errors.New("experiments: scenario without strict model")
 	}
 	pool := sc.BEPool
 	if pool == nil && sc.Strict != nil {
@@ -219,7 +239,7 @@ func runScenario(p Params, sc Scenario, tr obs.Tracer) (*cluster.Result, error) 
 		Seed:     p.Seed,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: generate trace: %w", err)
+		return nil, nil, nil, fmt.Errorf("experiments: generate trace: %w", err)
 	}
 
 	var prewarm []*model.Model
@@ -241,6 +261,7 @@ func runScenario(p Params, sc Scenario, tr obs.Tracer) (*cluster.Result, error) 
 		chaosCfg = *sc.Chaos
 	}
 	s := sim.New(p.Seed)
+	s.SetWorkers(p.Shards)
 	if tr != nil {
 		s.SetTracer(tr)
 	}
@@ -256,9 +277,9 @@ func runScenario(p Params, sc Scenario, tr obs.Tracer) (*cluster.Result, error) 
 		Chaos:         chaosCfg,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	return c.Run(reqs, p.Duration)
+	return reqs, s, c, nil
 }
 
 // Table is a rendered experiment artifact.

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"strings"
 	"testing"
 
 	"protean/internal/chaos"
+	"protean/internal/obs"
 )
 
 // fig2QuickGolden pins the SHA-256 of the fig2 quick-mode text report at
@@ -16,7 +18,18 @@ import (
 // ordering, float evaluation order, table formatting): either the change
 // is a bug, or it is an intentional semantic change and the new hash
 // must be re-pinned in the same commit with an explanation.
-const fig2QuickGolden = "c8ef05e46b1c3fa805548c9149252e334644a4d3d88ed755ffadd50fe3ad36ca"
+//
+// Re-pinned for the sharded event loop: the vm fleet, service jitter,
+// and chaos draws moved from the shared root stream onto derived child
+// streams (sim.Stream.Child), arrivals and batching moved to a gateway
+// lane, per-node work moved to node lanes with lane-first tie ordering,
+// and sealed batches now dispatch at the next dispatch-quantum barrier
+// instead of instantly at seal time. Every drawn value and some event
+// interleavings changed, so all experiment numbers shifted; the new
+// contract is that this hash — and every report and trace — is
+// invariant under the -shards worker count (see the shard-identity
+// tests below).
+const fig2QuickGolden = "f821b5ce18cfe6c782f34e0a16217551c130b5d2a500c6d6428c78de00253b59"
 
 func TestFig2QuickGoldenHash(t *testing.T) {
 	if testing.Short() {
@@ -80,6 +93,59 @@ func TestChaosReportParallelIdentity(t *testing.T) {
 	// rendered report must contain at least one fault counter > 0.
 	if !strings.Contains(seq, "stragglers") {
 		t.Error("chaos report missing the resilience-counters table")
+	}
+}
+
+// TestFig2ShardIdentityFuzz is the sharded-execution determinism
+// contract: the fig2 quick report AND its merged lifecycle traces are
+// byte-identical at -shards 1, 2 and 4, across several seeds. The
+// shard worker count may only change wall-clock time — never the event
+// schedule, the drawn randomness, or the trace order.
+func TestFig2ShardIdentityFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs fig2 fifteen times; skipped in -short")
+	}
+	e, ok := ByID("fig2")
+	if !ok {
+		t.Fatal("fig2 experiment not registered")
+	}
+	run := func(seed int64, shards int) (report string, chrome, jsonl []byte) {
+		t.Helper()
+		p := Params{Quick: true, Seed: seed, Parallel: 1, Shards: shards, Trace: obs.NewTraceSet()}
+		rep, err := RunReplicated(e, p, 1)
+		if err != nil {
+			t.Fatalf("seed %d shards %d: %v", seed, shards, err)
+		}
+		var sb strings.Builder
+		if err := rep.RenderAs(&sb, FormatText); err != nil {
+			t.Fatalf("render: %v", err)
+		}
+		if p.Trace.Events() == 0 {
+			t.Fatalf("seed %d shards %d: no trace events collected", seed, shards)
+		}
+		var cb, jb bytes.Buffer
+		if err := obs.WriteChrome(&cb, p.Trace.Traces()); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteJSONL(&jb, p.Trace.Traces()); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String(), cb.Bytes(), jb.Bytes()
+	}
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		wantReport, wantChrome, wantJSONL := run(seed, 1)
+		for _, shards := range []int{2, 4} {
+			report, chrome, jsonl := run(seed, shards)
+			if report != wantReport {
+				t.Errorf("seed %d: report differs between -shards 1 and -shards %d", seed, shards)
+			}
+			if !bytes.Equal(chrome, wantChrome) {
+				t.Errorf("seed %d: chrome trace differs between -shards 1 and -shards %d", seed, shards)
+			}
+			if !bytes.Equal(jsonl, wantJSONL) {
+				t.Errorf("seed %d: jsonl trace differs between -shards 1 and -shards %d", seed, shards)
+			}
+		}
 	}
 }
 

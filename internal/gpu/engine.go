@@ -303,6 +303,7 @@ func (sl *Slice) Failed() bool { return sl.failed }
 // the slice — the contention term of Eq. (1). Running jobs always carry
 // their cached invariants, and the sum runs left to right in start
 // order, so the result is bitwise identical to re-deriving each term.
+//
 //protean:hotpath
 func (sl *Slice) TotalFBR() float64 {
 	total := 0.0
@@ -314,6 +315,7 @@ func (sl *Slice) TotalFBR() float64 {
 
 // TotalComputeDemand is the summed SM demand (as a fraction of the
 // slice's SMs) of the jobs currently running on the slice.
+//
 //protean:hotpath
 func (sl *Slice) TotalComputeDemand() float64 {
 	total := 0.0
@@ -327,6 +329,7 @@ func (sl *Slice) TotalComputeDemand() float64 {
 // defensive copy Running() makes. Intended for hot paths (placement
 // scoring, admission scans) that visit resident jobs on every decision.
 // fn must not mutate the slice's job set.
+//
 //protean:hotpath
 func (sl *Slice) EachRunning(fn func(*Job)) {
 	for _, j := range sl.running {
@@ -337,6 +340,7 @@ func (sl *Slice) EachRunning(fn func(*Job)) {
 // EachPending calls fn for every admitted-but-not-started job in queue
 // order, without the defensive copy Pending() makes. fn must not mutate
 // the slice's job set.
+//
 //protean:hotpath
 func (sl *Slice) EachPending(fn func(*Job)) {
 	for _, j := range sl.pending {
@@ -349,6 +353,7 @@ func (sl *Slice) EachPending(fn func(*Job)) {
 // (bandwidth contention with cache-pollution amplification, and SM
 // contention — everything slowdownFor applies). Idle and time-shared
 // slices report 1.
+//
 //protean:hotpath
 func (sl *Slice) Slowdown() float64 {
 	worst := 1.0
@@ -363,6 +368,7 @@ func (sl *Slice) Slowdown() float64 {
 // SlowdownFor is the full interference multiplier the engine applies to
 // job j while the slice occupancy stays as it is now — the per-job term
 // Slowdown takes the max of.
+//
 //protean:hotpath
 func (sl *Slice) SlowdownFor(j *Job) float64 { return sl.slowdownFor(j) }
 
@@ -382,6 +388,7 @@ const DefaultInterferenceAmp = 4.0
 // whose demand exceeds the partition (the generative LLMs) is not
 // slowed relative to its own solo measurement, which already includes
 // self-saturation.
+//
 //protean:hotpath
 func (sl *Slice) slowdownFor(j *Job) float64 {
 	if sl.Mode == ShareTimeSlice {
@@ -541,6 +548,7 @@ func (sl *Slice) emitJob(k obs.Kind, j *Job) {
 // hot path allocates nothing and leaves no dead timers in the event
 // heap; a job that has no timer yet (it is the one being started) gets
 // a fresh one.
+//
 //protean:hotpath
 func (sl *Slice) rebalance(now float64) {
 	worst := 1.0
@@ -603,6 +611,7 @@ func (sl *Slice) complete(j *Job) {
 }
 
 // account accumulates busy-time and memory-use integrals up to now.
+//
 //protean:hotpath
 func (sl *Slice) account(now float64) {
 	sl.gpu.accountAnyBusy(now)
@@ -619,6 +628,7 @@ func (sl *Slice) account(now float64) {
 
 // accountAnyBusy integrates the GPU's non-idle time (any slice running
 // any job) up to now — the paper's GPU-utilization definition.
+//
 //protean:hotpath
 func (g *GPU) accountAnyBusy(now float64) {
 	dt := now - g.lastAnyAccount
@@ -720,6 +730,13 @@ type GPU struct {
 const DefaultReconfigDowntime = 2.0
 
 // NewGPU creates a GPU with the given initial geometry and sharing mode.
+//
+// Timer affinity: every timer the GPU schedules (job completions, the
+// reconfiguration downtime, slice accounting) lives on s. Under the
+// sharded cluster, s is the owning node's lane, which keeps all of one
+// node's events on one shard; callbacks therefore run in lane context
+// and must only touch that node's state — cross-node effects go through
+// root-scheduled events.
 func NewGPU(s *sim.Sim, id int, geom Geometry, mode SharingMode) (*GPU, error) {
 	if err := geom.Validate(); err != nil {
 		return nil, err

@@ -211,7 +211,7 @@ func TestHotpathAnnotationsPinned(t *testing.T) {
 		"protean/internal/sim.(*Timer).Reschedule",
 		"protean/internal/sim.(*Timer).Cancel",
 		"protean/internal/sim.(*Sim).maybeCompact",
-		"protean/internal/cluster.(*Cluster).serviceJitter",
+		"protean/internal/cluster.(*node).serviceJitter",
 	} {
 		if !hot[name] {
 			t.Errorf("%s is not annotated //protean:hotpath (hot set: %d nodes)", name, len(hot))

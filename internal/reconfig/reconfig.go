@@ -8,6 +8,7 @@ package reconfig
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"protean/internal/ewma"
 	"protean/internal/gpu"
@@ -204,11 +205,14 @@ func (p *Planner) Plan(in PlanInput) Decision {
 }
 
 // Budget limits how many GPUs may reconfigure simultaneously
-// (~30% per §4.4).
+// (~30% per §4.4). Acquisition only happens in root-simulation
+// context (the monitor tick), but completed reconfigurations release
+// their slot from node-lane context — possibly several lanes inside
+// one phase — so the in-flight count is atomic.
 type Budget struct {
 	total    int
 	maxFrac  float64
-	inFlight int
+	inFlight atomic.Int32
 }
 
 // NewBudget returns a budget over total GPUs with the given maximum
@@ -227,25 +231,27 @@ func NewBudget(total int, frac float64) (*Budget, error) {
 }
 
 // TryAcquire reserves a reconfiguration slot, returning false when the
-// simultaneous-reconfiguration cap is reached.
+// simultaneous-reconfiguration cap is reached. Root context only: all
+// acquisitions happen on the monitor tick, never concurrently.
 func (b *Budget) TryAcquire() bool {
 	limit := int(b.maxFrac * float64(b.total))
 	if limit < 1 {
 		limit = 1
 	}
-	if b.inFlight >= limit {
+	if int(b.inFlight.Load()) >= limit {
 		return false
 	}
-	b.inFlight++
+	b.inFlight.Add(1)
 	return true
 }
 
-// Release returns a slot after a reconfiguration completes.
+// Release returns a slot after a reconfiguration completes. Safe from
+// concurrent lane phases.
 func (b *Budget) Release() {
-	if b.inFlight > 0 {
-		b.inFlight--
+	if b.inFlight.Add(-1) < 0 {
+		b.inFlight.Add(1)
 	}
 }
 
 // InFlight reports current concurrent reconfigurations.
-func (b *Budget) InFlight() int { return b.inFlight }
+func (b *Budget) InFlight() int { return int(b.inFlight.Load()) }

@@ -1,0 +1,334 @@
+package sim
+
+// Regression tests for the sharded event loop and the bugfixes that
+// shipped with it: the RunUntil clock clamp, the timerHeap.Push type
+// panic, Reschedule of a compacted-away timer, Ticker.Stop teardown,
+// and the Child stream-derivation contract the lanes are built on.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"protean/internal/obs"
+)
+
+// TestRunUntilNeverRewindsClock covers both exits of the event loop: a
+// horizon in the past must leave the clock untouched whether the next
+// event sits beyond the horizon (queue-nonempty path) or the queue has
+// drained (queue-empty path). Before the fix, the queue-nonempty exit
+// set s.now = horizon unconditionally, rewinding virtual time.
+func TestRunUntilNeverRewindsClock(t *testing.T) {
+	s := New(1)
+	if _, err := s.At(10, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.At(20, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("clock = %v after RunUntil(10), want 10", s.Now())
+	}
+
+	// Queue-nonempty path: the event at 20 is still pending.
+	if err := s.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("clock rewound to %v by RunUntil(5) with a pending event, want 10", s.Now())
+	}
+
+	// Queue-empty path: drain, then ask for a past horizon again.
+	if err := s.RunUntil(20); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pending() != 0 || s.Now() != 20 {
+		t.Fatalf("after drain: pending=%d now=%v, want 0 and 20", s.Pending(), s.Now())
+	}
+	if err := s.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != 20 {
+		t.Fatalf("clock rewound to %v by RunUntil(5) on an empty queue, want 20", s.Now())
+	}
+}
+
+// TestTimerHeapPushRejectsForeignType pins that pushing anything but a
+// *Timer panics instead of silently dropping the value (a silent drop
+// would desynchronise the active counter from the heap).
+func TestTimerHeapPushRejectsForeignType(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("timerHeap.Push accepted a non-*Timer value")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "want *Timer") {
+			t.Fatalf("panic message %q does not name the expected type", msg)
+		}
+	}()
+	var h timerHeap
+	h.Push("not a timer")
+}
+
+// TestRescheduleCancelledThenCompactedTimer exercises the index == -1
+// branch of Reschedule after maybeCompact has evicted the cancelled
+// timer from the heap entirely: re-arming must re-increment the active
+// count exactly once and the timer must fire exactly once.
+func TestRescheduleCancelledThenCompactedTimer(t *testing.T) {
+	s := New(1)
+	// Fill past compactMinLen so compaction can trigger, then cancel a
+	// majority so cancelled entries outnumber live ones.
+	timers := make([]*Timer, 0, 2*compactMinLen)
+	for i := 0; i < 2*compactMinLen; i++ {
+		tm, err := s.At(float64(i+1), func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		timers = append(timers, tm)
+	}
+	victim := timers[0]
+	for _, tm := range timers[:len(timers)/2+1] {
+		tm.Cancel()
+	}
+	if victim.index != -1 {
+		t.Fatalf("victim timer still in the heap (index %d); compaction did not run", victim.index)
+	}
+	fired := 0
+	victim.fn = func() { fired++ }
+
+	before := s.Pending()
+	if err := victim.Reschedule(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Pending(); got != before+1 {
+		t.Fatalf("Pending went %d -> %d across Reschedule of a compacted timer, want +1", before, got)
+	}
+	if !victim.Active() {
+		t.Fatal("rescheduled timer is not active")
+	}
+	// Re-arming an already-pending timer must NOT bump the count again.
+	if err := victim.Reschedule(0.6); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Pending(); got != before+1 {
+		t.Fatalf("Pending = %d after second Reschedule, want %d (no double count)", got, before+1)
+	}
+	if err := s.RunUntil(0.6); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("rescheduled timer fired %d times, want 1", fired)
+	}
+}
+
+// TestTickerStopReleasesReferences pins that Stop drops the ticker's
+// self-referential closure and timer so a stopped ticker holds nothing
+// alive, and that no further tick runs.
+func TestTickerStopReleasesReferences(t *testing.T) {
+	s := New(1)
+	ticks := 0
+	tk, err := s.Every(1, func() { ticks++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntil(2.5); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 2 {
+		t.Fatalf("ticks = %d before Stop, want 2", ticks)
+	}
+	tk.Stop()
+	if tk.timer != nil || tk.fireNext != nil {
+		t.Fatal("Stop left timer/fireNext references behind")
+	}
+	tk.Stop() // idempotent on a torn-down ticker
+	if err := s.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 2 {
+		t.Fatalf("stopped ticker ticked again: %d ticks, want 2", ticks)
+	}
+}
+
+// TestTickerStopRacesPendingFireAtSameInstant: a Stop that runs at the
+// exact virtual instant a tick is already pending (the stopping event
+// was scheduled first, so it wins the tie-break) must keep that tick
+// from firing — the cancelled timer is skipped, not executed.
+func TestTickerStopRacesPendingFireAtSameInstant(t *testing.T) {
+	s := New(1)
+	ticks := 0
+	var tk *Ticker
+	// Scheduled before Every, so at t=1 this runs ahead of the pending
+	// first fire scheduled for the same instant.
+	if _, err := s.At(1, func() { tk.Stop() }); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	tk, err = s.Every(1, func() { ticks++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 0 {
+		t.Fatalf("tick fired %d times after a same-instant Stop, want 0", ticks)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("%d events still pending after Stop", s.Pending())
+	}
+}
+
+// TestChildStreamsStableAndIndependent pins the derivation contract
+// lanes and subsystems rely on: a child's sequence depends only on
+// (parent seed, label) — not on parent draws, sibling derivations, or
+// how many lanes exist — and distinct labels yield distinct streams.
+func TestChildStreamsStableAndIndependent(t *testing.T) {
+	draw := func(st *Stream) [4]float64 {
+		var v [4]float64
+		for i := range v {
+			v[i] = st.Float64()
+		}
+		return v
+	}
+
+	pristine := draw(New(7).Rand().Child("vm/fleet"))
+
+	// Parent draws and sibling children must not shift the sequence.
+	s := New(7)
+	s.Rand().Float64()
+	s.Rand().Child("chaos")
+	if got := draw(s.Rand().Child("vm/fleet")); got != pristine {
+		t.Fatalf("child sequence shifted by parent activity: %v != %v", got, pristine)
+	}
+
+	// Lane creation (itself a Child derivation) must not shift it either
+	// — this is what makes draws identical across shard counts.
+	for _, lanes := range []int{1, 4} {
+		s := New(7)
+		for i := 0; i < lanes; i++ {
+			s.Lane(fmt.Sprintf("node/%d", i))
+		}
+		if got := draw(s.Rand().Child("vm/fleet")); got != pristine {
+			t.Fatalf("child sequence shifted by %d lane derivations: %v != %v", lanes, got, pristine)
+		}
+	}
+
+	if draw(New(7).Rand().Child("chaos")) == pristine {
+		t.Fatal("distinct labels produced identical streams")
+	}
+	if draw(New(8).Rand().Child("vm/fleet")) == pristine {
+		t.Fatal("distinct parent seeds produced identical child streams")
+	}
+	if got := New(7).Rand().Child("vm/fleet").Seed(); got != New(7).Rand().Child("vm/fleet").Seed() {
+		t.Fatalf("child seed not stable: %d", got)
+	}
+}
+
+// collectTracer records events in emission order.
+type collectTracer struct{ events []obs.Event }
+
+func (c *collectTracer) Enabled() bool     { return true }
+func (c *collectTracer) Emit(ev obs.Event) { c.events = append(c.events, ev) }
+
+// TestLanePhasesDeterministicAcrossWorkerCounts runs the same lane
+// workload inline and across a worker pool and asserts identical
+// merged traces, executed-event counts, and clocks. Lane events emit
+// through the lane's Tracer (buffered during phases, merged at the
+// barrier), which is the supported concurrency-safe path.
+func TestLanePhasesDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) ([]obs.Event, uint64, float64) {
+		s := New(3)
+		s.SetWorkers(workers)
+		tr := &collectTracer{}
+		s.SetTracer(tr)
+		lanes := make([]*Sim, 4)
+		for i := range lanes {
+			ln := s.Lane(fmt.Sprintf("node/%d", i))
+			lanes[i] = ln
+			// Self-rescheduling lane work with lane-local jitter, plus a
+			// trace event per firing.
+			var step func()
+			at := 0.1 * float64(i+1)
+			step = func() {
+				ev := obs.At(ln.Now(), obs.KindAdmit)
+				ev.Node = i
+				ln.Tracer().Emit(ev)
+				at += 0.2 + 0.05*ln.Rand().Float64()
+				if at < 10 {
+					ln.MustAfter(at-ln.Now(), step)
+				}
+			}
+			ln.MustAfter(at, step)
+		}
+		// Root barrier events interleaved with the lane work.
+		ticks := 0
+		tick, err := s.Every(1, func() {
+			ticks++
+			ev := obs.At(s.Now(), obs.KindDispatch)
+			s.Tracer().Emit(ev)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RunUntil(10); err != nil {
+			t.Fatal(err)
+		}
+		tick.Stop()
+		for _, ln := range lanes {
+			if ln.Now() != 10 {
+				t.Fatalf("workers=%d: lane clock %v not synchronised to horizon", workers, ln.Now())
+			}
+		}
+		return tr.events, s.Executed(), s.Now()
+	}
+
+	wantEvents, wantExec, wantNow := run(1)
+	if len(wantEvents) == 0 || wantExec == 0 {
+		t.Fatal("inline run produced no events; the workload is vacuous")
+	}
+	for _, workers := range []int{2, 4} {
+		events, exec, now := run(workers)
+		if exec != wantExec || now != wantNow {
+			t.Fatalf("workers=%d: executed=%d now=%v, want %d and %v", workers, exec, now, wantExec, wantNow)
+		}
+		if len(events) != len(wantEvents) {
+			t.Fatalf("workers=%d: %d trace events, want %d", workers, len(events), len(wantEvents))
+		}
+		for i := range events {
+			if events[i] != wantEvents[i] {
+				t.Fatalf("workers=%d: trace event %d = %+v, want %+v", workers, i, events[i], wantEvents[i])
+			}
+		}
+	}
+}
+
+// TestLaneMisuseIsRejected pins the structural rules: lanes cannot be
+// nested, and a lane cannot be driven directly — only through its root.
+func TestLaneMisuseIsRejected(t *testing.T) {
+	s := New(1)
+	ln := s.Lane("node/0")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nested Lane did not panic")
+			}
+		}()
+		ln.Lane("inner")
+	}()
+	if err := ln.RunUntil(1); err == nil {
+		t.Error("RunUntil on a lane did not error")
+	}
+	// Stopping a lane stops the root.
+	if _, err := s.At(1, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	ln.Stop()
+	if err := s.Run(); err != ErrStopped {
+		t.Errorf("root Run after lane Stop = %v, want ErrStopped", err)
+	}
+}

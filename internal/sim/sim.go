@@ -5,6 +5,19 @@
 // seconds as float64. Events scheduled for the same instant fire in the
 // order they were scheduled, which makes every experiment exactly
 // reproducible for a given seed.
+//
+// # Sharded execution
+//
+// A root simulation can host lanes (per-shard child simulations, see
+// Lane): each lane owns its own timer heap, clock, and derived random
+// stream, and lane events run independently between the root's events.
+// Every root event is a synchronisation barrier — lanes first execute
+// everything scheduled up to (and including) the root event's
+// timestamp, then the root event runs exclusively and may touch any
+// lane's state. The phase schedule, each lane's event order, and the
+// merged trace are all pure functions of the event timestamps, so the
+// output is byte-identical whether phases run inline (SetWorkers(1))
+// or across a worker pool (SetWorkers(n)).
 package sim
 
 import (
@@ -13,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"protean/internal/obs"
 )
@@ -20,6 +34,55 @@ import (
 // ErrStopped is returned by Run variants when the simulation was halted
 // explicitly via Stop before the requested horizon was reached.
 var ErrStopped = errors.New("simulation stopped")
+
+// Stream is the simulation's deterministic random source: a seeded
+// *rand.Rand that remembers the seed it was built from, which is what
+// makes stable child-stream derivation possible. Draw methods
+// (Float64, Int63, NormFloat64, ...) come from the embedded *rand.Rand.
+type Stream struct {
+	*rand.Rand
+	seed uint64
+}
+
+func newStream(seed uint64) *Stream {
+	return &Stream{Rand: rand.New(rand.NewSource(int64(seed))), seed: seed}
+}
+
+// Seed returns the seed this stream was derived from.
+func (st *Stream) Seed() uint64 { return st.seed }
+
+// Child derives the independent stream identified by label. The child
+// seed is a splitmix64 finalizer over the parent seed XOR an FNV-1a
+// hash of the label, so derivation consumes nothing from the parent
+// stream: a child's values depend only on (root seed, derivation
+// labels), never on how many draws the parent made, how many shards
+// the run uses, or in what order sibling subsystems were built. This
+// is the blessed pattern for giving a subsystem its own stream —
+// derive once at construction, store the child, and never touch the
+// shared parent again.
+func (st *Stream) Child(label string) *Stream {
+	return newStream(splitmix64(st.seed ^ fnv64(label)))
+}
+
+// splitmix64 is the SplitMix64 finalizer — a bijective mixer whose
+// output sequence passes BigCrush, used here to turn structured seed
+// material into uncorrelated stream seeds.
+func splitmix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// fnv64 is the FNV-1a hash of s.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
 
 // Timer is a handle to a scheduled event. It can be cancelled until it
 // fires, and rescheduled in place (see Reschedule) without allocating a
@@ -38,12 +101,14 @@ func (t *Timer) At() float64 { return t.at }
 
 // Active reports whether the timer is still pending (not fired, not
 // cancelled).
+//
 //protean:hotpath
 func (t *Timer) Active() bool { return t != nil && !t.cancelled && t.index >= 0 }
 
 // Cancel prevents the timer from firing. It reports whether the timer was
 // still pending. Cancelling an already-fired or already-cancelled timer is
 // a no-op.
+//
 //protean:hotpath
 func (t *Timer) Cancel() bool {
 	if t == nil || t.cancelled || t.index < 0 {
@@ -65,6 +130,7 @@ func (t *Timer) Cancel() bool {
 // Unlike the cancel-and-reallocate pattern, the heap entry is updated in
 // place (container/heap.Fix), so the hot rebalance path allocates
 // nothing and leaves no dead timers behind.
+//
 //protean:hotpath
 func (t *Timer) Reschedule(at float64) error {
 	if t == nil || t.sim == nil || t.fn == nil {
@@ -95,18 +161,39 @@ func (t *Timer) Reschedule(at float64) error {
 
 // Sim is a discrete-event simulator. The zero value is not usable; use New.
 type Sim struct {
-	now     float64
-	seq     uint64
-	queue   timerHeap
-	active  int // queued timers that are not cancelled; keeps Pending O(1)
-	rng     *rand.Rand
-	stopped bool
-	tracer  obs.Tracer
+	now      float64
+	seq      uint64
+	queue    timerHeap
+	active   int // queued timers that are not cancelled; keeps Pending O(1)
+	rng      *Stream
+	stopped  bool
+	tracer   obs.Tracer
+	executed uint64 // events run by this sim's own loop (excludes lanes)
+
+	// Sharded execution. A root sim owns lanes; a lane points back at
+	// its root through parent and never has lanes of its own.
+	parent  *Sim
+	label   string
+	lanes   []*Sim
+	workers int
+
+	// Root-only phase machinery.
+	inPhase     bool // a lane phase is executing; lane tracers buffer
+	pool        *workerPool
+	phaseActive []*Sim
+	evScratch   []obs.Event
+
+	// Lane-only phase machinery: buffered trace events and the reusable
+	// phase thunk the worker pool runs (opaque to the pool, so lane
+	// execution stays off every goroutine's static callgraph).
+	buf   []obs.Event
+	bound float64
+	thunk func()
 }
 
 // New returns a simulator whose random source is seeded with seed.
 func New(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed))}
+	return &Sim{rng: newStream(uint64(seed)), workers: 1}
 }
 
 // SetTracer installs the observability tracer every component driven by
@@ -118,8 +205,14 @@ func (s *Sim) SetTracer(t obs.Tracer) { s.tracer = t }
 // Tracer returns the installed tracer, or the no-op tracer when none is
 // installed. Components hold a *Sim already, so this is how the tracer
 // threads through gpu, queue, cluster, vm and autoscale without each
-// layer growing a configuration knob.
+// layer growing a configuration knob. On a lane the returned tracer
+// routes to the root: buffered during a lane phase (merged in
+// deterministic (time, lane, emission) order at the next barrier) and
+// passed straight through when the root is executing exclusively.
 func (s *Sim) Tracer() obs.Tracer {
+	if s.parent != nil {
+		return laneTracer{ln: s}
+	}
 	if s.tracer == nil {
 		return obs.Nop()
 	}
@@ -129,8 +222,61 @@ func (s *Sim) Tracer() obs.Tracer {
 // Now returns the current virtual time in seconds.
 func (s *Sim) Now() float64 { return s.now }
 
-// Rand returns the simulation's deterministic random source.
-func (s *Sim) Rand() *rand.Rand { return s.rng }
+// Rand returns the simulation's deterministic random stream. Subsystems
+// must not draw from it directly once the run starts — derive a child
+// with Rand().Child(label) at construction instead, so draw order stays
+// confined to one owner and sharded lanes cannot reorder it.
+func (s *Sim) Rand() *Stream { return s.rng }
+
+// Executed returns the number of events executed so far, including
+// every lane's events. This is the numerator of the events/sec
+// benchmark metric.
+func (s *Sim) Executed() uint64 {
+	n := s.executed
+	for _, ln := range s.lanes {
+		n += ln.executed
+	}
+	return n
+}
+
+// Lane creates a child simulation (a shard) on the root s. A lane owns
+// its own clock, timer heap, sequence counter, and a random stream
+// derived as Rand().Child("lane/"+label) — stable across shard counts.
+// Lanes advance between the root's events (see RunUntil); code running
+// on a lane must only touch that lane's state, while root events run
+// exclusively and may touch any lane. Lanes cannot be nested.
+func (s *Sim) Lane(label string) *Sim {
+	if s.parent != nil {
+		panic("sim: lanes cannot be nested")
+	}
+	ln := &Sim{
+		rng:     s.rng.Child("lane/" + label),
+		now:     s.now,
+		parent:  s,
+		label:   label,
+		workers: 1,
+	}
+	ln.thunk = func() { ln.runTo(ln.bound) }
+	s.lanes = append(s.lanes, ln)
+	return ln
+}
+
+// Lanes returns the root's lanes in creation order.
+func (s *Sim) Lanes() []*Sim { return s.lanes }
+
+// SetWorkers sets how many OS goroutines execute lane phases: 1 runs
+// every phase inline on the caller's goroutine, n > 1 fans independent
+// lanes across n workers. The schedule, the per-lane event order, and
+// the merged trace do not depend on the setting — only wall clock does.
+func (s *Sim) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+}
+
+// Workers returns the lane-phase worker count.
+func (s *Sim) Workers() int { return s.workers }
 
 // At schedules fn to run at virtual time t. Scheduling in the past is an
 // error; scheduling exactly at Now is allowed and fires before time
@@ -176,12 +322,20 @@ func (s *Sim) MustAfter(d float64, fn func()) *Timer {
 // Stop halts the simulation after the currently executing event returns.
 // Calling Stop while no run is in progress arms the next Run/RunUntil to
 // return ErrStopped before executing any event; the stop is consumed
-// either way, so a subsequent run resumes normally.
-func (s *Sim) Stop() { s.stopped = true }
+// either way, so a subsequent run resumes normally. Stopping a lane
+// stops its root.
+func (s *Sim) Stop() {
+	if s.parent != nil {
+		s.parent.Stop()
+		return
+	}
+	s.stopped = true
+}
 
 // Pending returns the number of queued (uncancelled) events. The count
 // is maintained incrementally on every push, pop and cancel, so this is
 // O(1) — it also drives the opportunistic heap compaction below.
+//
 //protean:hotpath
 func (s *Sim) Pending() int { return s.active }
 
@@ -197,6 +351,7 @@ const compactMinLen = 32
 // bound until lazy deletion catches up. Rebuilding via heap.Init is
 // safe for determinism: the (time, sequence) order is total, so the
 // pop sequence is independent of the heap's internal layout.
+//
 //protean:hotpath
 func (s *Sim) maybeCompact() {
 	n := len(s.queue)
@@ -226,14 +381,35 @@ func (s *Sim) Run() error { return s.RunUntil(math.Inf(1)) }
 
 // RunUntil executes events with timestamps <= horizon, advancing the clock
 // as it goes. When it returns the clock is at min(horizon, last event time)
-// unless the queue drained earlier. It returns ErrStopped if Stop was
-// called, including a Stop issued before the run started (in which case
-// no event executes); the stop is consumed, so a later run proceeds.
+// unless the queue drained earlier; the clock never moves backwards, so a
+// horizon already in the past leaves it untouched. It returns ErrStopped
+// if Stop was called, including a Stop issued before the run started (in
+// which case no event executes); the stop is consumed, so a later run
+// proceeds.
+//
+// With lanes present, RunUntil alternates lane phases and root events:
+// before each root event at time t, every lane executes all of its
+// events with timestamps <= t (lanes are mutually independent, so
+// phases may fan out across SetWorkers goroutines), lane clocks are
+// synchronised to t, and then the root event runs exclusively. Lane
+// events at exactly the root's timestamp therefore run before the root
+// event — a fixed, documented tie rule.
 func (s *Sim) RunUntil(horizon float64) error {
+	if s.parent != nil {
+		return errors.New("sim: lanes are driven by their root simulation")
+	}
 	if s.stopped {
 		s.stopped = false
 		return ErrStopped
 	}
+	if len(s.lanes) == 0 {
+		return s.runLocal(horizon)
+	}
+	return s.runSharded(horizon)
+}
+
+// runLocal is the classic single-heap event loop.
+func (s *Sim) runLocal(horizon float64) error {
 	for len(s.queue) > 0 {
 		if s.stopped {
 			s.stopped = false
@@ -245,12 +421,15 @@ func (s *Sim) RunUntil(horizon float64) error {
 			continue
 		}
 		if next.at > horizon {
-			s.now = horizon
+			if horizon > s.now {
+				s.now = horizon
+			}
 			return nil
 		}
 		heap.Pop(&s.queue)
 		s.active--
 		s.now = next.at
+		s.executed++
 		next.fn()
 	}
 	if !math.IsInf(horizon, 1) && horizon > s.now {
@@ -258,6 +437,207 @@ func (s *Sim) RunUntil(horizon float64) error {
 	}
 	return nil
 }
+
+// runSharded is the lane-aware loop documented on RunUntil.
+func (s *Sim) runSharded(horizon float64) error {
+	if s.workers > 1 && s.pool == nil {
+		// The pool is scoped to one run so idle sims hold no goroutines;
+		// channel capacities cover every lane so a phase can enqueue all
+		// of its work without anyone blocking on a full buffer.
+		s.pool = newWorkerPool(s.workers-1, len(s.lanes))
+		defer func() {
+			s.pool.close()
+			s.pool = nil
+		}()
+	}
+	for {
+		if s.stopped {
+			s.stopped = false
+			return ErrStopped
+		}
+		rootNext := s.peekTime()
+		s.runLanePhase(math.Min(rootNext, horizon))
+		if rootNext > horizon {
+			if !math.IsInf(horizon, 1) && horizon > s.now {
+				s.now = horizon
+			}
+			return nil
+		}
+		if math.IsInf(rootNext, 1) {
+			// horizon and the root queue are both infinite/exhausted: the
+			// lane phase above drained every lane completely.
+			return nil
+		}
+		next := heap.Pop(&s.queue).(*Timer)
+		s.active--
+		s.now = next.at
+		s.executed++
+		next.fn()
+	}
+}
+
+// peekTime returns the timestamp of the next live event, discarding
+// cancelled heap heads, or +Inf when none remain.
+func (s *Sim) peekTime() float64 {
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return next.at
+	}
+	return math.Inf(1)
+}
+
+// runLanePhase executes every lane event with timestamp <= bound and
+// then synchronises lane clocks to bound. Lanes are independent, so
+// when a pool exists the phase fans out; results are identical either
+// way because each lane's events run sequentially on exactly one
+// goroutine and lanes share no state until the next barrier.
+func (s *Sim) runLanePhase(bound float64) {
+	active := s.phaseActive[:0]
+	for _, ln := range s.lanes {
+		if ln.peekTime() <= bound {
+			active = append(active, ln)
+		}
+	}
+	s.phaseActive = active[:0]
+	if len(active) > 0 {
+		s.inPhase = true
+		if s.pool != nil && len(active) > 1 {
+			for _, ln := range active[1:] {
+				ln.bound = bound
+				s.pool.submit(ln.thunk)
+			}
+			active[0].bound = bound
+			active[0].thunk()
+			s.pool.wait(len(active) - 1)
+		} else {
+			for _, ln := range active {
+				ln.runTo(bound)
+			}
+		}
+		s.inPhase = false
+		s.flushLaneEvents()
+	}
+	if !math.IsInf(bound, 1) {
+		for _, ln := range s.lanes {
+			if ln.now < bound {
+				ln.now = bound
+			}
+		}
+	}
+}
+
+// runTo executes the lane's events with timestamps <= bound. No stop
+// check: lanes are halted at the next barrier by the root loop.
+func (ln *Sim) runTo(bound float64) {
+	for len(ln.queue) > 0 {
+		next := ln.queue[0]
+		if next.cancelled {
+			heap.Pop(&ln.queue)
+			continue
+		}
+		if next.at > bound {
+			return
+		}
+		heap.Pop(&ln.queue)
+		ln.active--
+		ln.now = next.at
+		ln.executed++
+		next.fn()
+	}
+}
+
+// flushLaneEvents merges the trace events lanes buffered during the
+// phase into the root tracer in (time, lane index, emission order) —
+// a total order independent of how the phase was scheduled. Each
+// lane's buffer is already time-sorted (lanes execute in time order),
+// so a stable sort over the index-ordered concatenation realises the
+// merge.
+func (s *Sim) flushLaneEvents() {
+	if s.tracer == nil || !s.tracer.Enabled() {
+		return
+	}
+	total := 0
+	for _, ln := range s.lanes {
+		total += len(ln.buf)
+	}
+	if total == 0 {
+		return
+	}
+	merged := s.evScratch[:0]
+	for _, ln := range s.lanes {
+		merged = append(merged, ln.buf...)
+		ln.buf = ln.buf[:0]
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].T < merged[j].T })
+	for i := range merged {
+		s.tracer.Emit(merged[i])
+	}
+	s.evScratch = merged[:0]
+}
+
+// laneTracer routes a lane's trace events to the root tracer: buffered
+// while a lane phase is executing (many lanes emit concurrently; the
+// root merges deterministically at the barrier), passed straight
+// through in root context where emission order is already the global
+// event order.
+type laneTracer struct{ ln *Sim }
+
+func (lt laneTracer) Enabled() bool {
+	root := lt.ln.parent
+	return root.tracer != nil && root.tracer.Enabled()
+}
+
+func (lt laneTracer) Emit(ev obs.Event) {
+	root := lt.ln.parent
+	if root.inPhase {
+		lt.ln.buf = append(lt.ln.buf, ev)
+		return
+	}
+	root.Tracer().Emit(ev)
+}
+
+// workerPool runs opaque thunks across a fixed set of goroutines. The
+// thunks a phase submits are closures over disjoint lanes, and the
+// submit/wait channel pair carries the happens-before edges that make
+// each phase a fork-join region.
+type workerPool struct {
+	tasks chan func()
+	done  chan struct{}
+}
+
+// newWorkerPool starts n workers; cap bounds how many tasks can be in
+// flight, sized so submit and done never block each other.
+func newWorkerPool(n, cap int) *workerPool {
+	if cap < n {
+		cap = n
+	}
+	p := &workerPool{tasks: make(chan func(), cap), done: make(chan struct{}, cap)}
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	for f := range p.tasks {
+		f()
+		p.done <- struct{}{}
+	}
+}
+
+func (p *workerPool) submit(f func()) { p.tasks <- f }
+
+func (p *workerPool) wait(n int) {
+	for i := 0; i < n; i++ {
+		<-p.done
+	}
+}
+
+func (p *workerPool) close() { close(p.tasks) }
 
 // Ticker invokes a function on a fixed period until stopped.
 type Ticker struct {
@@ -293,13 +673,18 @@ func (s *Sim) Every(period float64, fn func()) (*Ticker, error) {
 	return tk, nil
 }
 
-// Stop cancels future ticks.
+// Stop cancels future ticks and drops the ticker's self-referential
+// closure and timer so a stopped ticker holds no references — even
+// when Stop races a tick pending at the same instant, the cancelled
+// timer keeps that tick from firing.
 func (t *Ticker) Stop() {
 	if t == nil || t.stopped {
 		return
 	}
 	t.stopped = true
 	t.timer.Cancel()
+	t.timer = nil
+	t.fireNext = nil
 }
 
 // timerHeap orders timers by (time, sequence).
@@ -326,7 +711,9 @@ func (h timerHeap) Swap(i, j int) {
 func (h *timerHeap) Push(x any) {
 	tm, ok := x.(*Timer)
 	if !ok {
-		return
+		// Silently dropping would desynchronise the active counter from
+		// the heap; only *Timer values are ever legal here.
+		panic(fmt.Sprintf("sim: timerHeap.Push of %T, want *Timer", x))
 	}
 	tm.index = len(*h)
 	*h = append(*h, tm)

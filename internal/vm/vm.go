@@ -200,6 +200,7 @@ const (
 type Fleet struct {
 	cfg Config
 	sim *sim.Sim
+	rng *sim.Stream // market stream, derived at construction; root context only
 
 	states    []nodeState
 	leases    []*lease
@@ -233,6 +234,7 @@ func NewFleet(s *sim.Sim, cfg Config) (*Fleet, error) {
 	return &Fleet{
 		cfg:       cfg,
 		sim:       s,
+		rng:       s.Rand().Child("vm/fleet"),
 		states:    make([]nodeState, cfg.Nodes),
 		leases:    make([]*lease, cfg.Nodes),
 		noticeGen: make([]int, cfg.Nodes),
@@ -308,9 +310,11 @@ func (f *Fleet) release(node int) {
 }
 
 // spotAvailable samples whether a spot request succeeds right now.
+// Draws come from the fleet's own child stream: market events only
+// ever run in root-simulation context, so their order is the root
+// event order regardless of the shard count.
 func (f *Fleet) spotAvailable() bool {
-	//lint:ignore rngflow safe while a scenario is single-goroutine: market events execute in event-loop order; sharding (ROADMAP 1) must give the fleet a derived child stream
-	return f.sim.Rand().Float64() >= f.cfg.Availability.PRev
+	return f.rng.Float64() >= f.cfg.Availability.PRev
 }
 
 // checkRevocations is the fixed-interval revocation process of §5.
@@ -322,8 +326,7 @@ func (f *Fleet) checkRevocations() {
 		if l == nil || l.kind != KindSpot || f.states[i] != nodeUp {
 			continue
 		}
-		//lint:ignore rngflow safe while a scenario is single-goroutine: revocation sampling runs in event-loop order; sharding (ROADMAP 1) must give the fleet a derived child stream
-		if f.sim.Rand().Float64() >= f.cfg.Availability.PRev {
+		if f.rng.Float64() >= f.cfg.Availability.PRev {
 			continue
 		}
 		f.notice(i)
@@ -337,8 +340,7 @@ func (f *Fleet) notice(i int) {
 	f.notices++
 	f.noticeGen[i]++
 	gen := f.noticeGen[i]
-	//lint:ignore rngflow safe while a scenario is single-goroutine: notice lead-time draws happen in event-loop order; sharding (ROADMAP 1) must give the fleet a derived child stream
-	notice := f.cfg.NoticeMin + f.sim.Rand().Float64()*(f.cfg.NoticeMax-f.cfg.NoticeMin)
+	notice := f.cfg.NoticeMin + f.rng.Float64()*(f.cfg.NoticeMax-f.cfg.NoticeMin)
 	deadline := f.sim.Now() + notice
 	f.states[i] = nodeDraining
 	if tr := f.sim.Tracer(); tr.Enabled() {

@@ -192,7 +192,7 @@ func TestSpotOnlyLosesCapacityUnderLowAvailability(t *testing.T) {
 }
 
 func TestSpotOnlyRecoversWhenSpotReturns(t *testing.T) {
-	s := sim.New(5)
+	s := sim.New(1)
 	f, err := NewFleet(s, Config{
 		Nodes:         2,
 		Mode:          ModeSpotOnly,

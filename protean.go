@@ -153,6 +153,10 @@ type Config struct {
 	// the reference fault mix (0 disables — the default; 1 is the
 	// reference mix; see internal/chaos).
 	ChaosScale float64
+	// Shards is the within-scenario shard worker count (default 1).
+	// Results are byte-identical at every value; more shards only buy
+	// wall-clock speed on multi-node configurations.
+	Shards int
 }
 
 // Option mutates the configuration.
@@ -197,6 +201,10 @@ func WithTracer(t obs.Tracer) Option { return func(c *Config) { c.Tracer = t } }
 // 0 disables, leaving runs byte-identical to a chaos-free build). The
 // fault schedule is a pure function of the seed.
 func WithChaos(scale float64) Option { return func(c *Config) { c.ChaosScale = scale } }
+
+// WithShards sets how many worker goroutines advance the scenario's
+// per-node simulation lanes; the result does not depend on the value.
+func WithShards(n int) Option { return func(c *Config) { c.Shards = n } }
 
 // Platform is a configured serverless platform ready to serve workloads.
 type Platform struct {
@@ -393,6 +401,9 @@ func (p *Platform) Run(w Workload) (*Result, error) {
 		return nil, err
 	}
 	s := sim.New(p.cfg.Seed)
+	if p.cfg.Shards > 0 {
+		s.SetWorkers(p.cfg.Shards)
+	}
 	if p.cfg.Tracer != nil {
 		s.SetTracer(p.cfg.Tracer)
 	}
