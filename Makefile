@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json lint-graph test race bench bench-quick trace-demo chaos-demo ci
+.PHONY: all build vet lint lint-json lint-graph test race bench bench-quick trace-demo chaos-demo soak-demo ci
 
 all: build
 
@@ -67,5 +67,17 @@ trace-demo:
 # seed — see the "Fault model" section of DESIGN.md.
 chaos-demo:
 	$(GO) run ./cmd/protean-bench -run chaos -seed 1
+
+# Live control-plane demo: start proteand with the wall-clock-paced
+# /v1 serving plane, run a 30 s multi-tenant soak (diurnal + bursty mix,
+# sparse tenants that scale to zero and wake back up, fault injection at
+# 0.5x), print per-tenant SLO attainment and usage, and shut down.
+soak-demo:
+	$(GO) build -o /tmp/protean-soak-proteand ./cmd/proteand
+	$(GO) build -o /tmp/protean-soak-load ./cmd/protean-load
+	/tmp/protean-soak-proteand -addr :8092 -serve & echo $$! > /tmp/protean-soak.pid; \
+	sleep 1; \
+	/tmp/protean-soak-load -server http://localhost:8092 -soak 30s -tenants 6 -chaos 0.5 -min-slo 0.5; \
+	rc=$$?; kill $$(cat /tmp/protean-soak.pid); rm -f /tmp/protean-soak.pid; exit $$rc
 
 ci: build vet lint race bench-quick

@@ -43,9 +43,29 @@ func run(args []string, stdout io.Writer) error {
 		chaosScale  = fs.Float64("chaos", 0, "fault-injection scale (0 = off, 1 = reference mix)")
 		timeout     = fs.Duration("timeout", 5*time.Minute, "request timeout")
 		asJSON      = fs.Bool("json", false, "print the server's JSON response instead of the text summary")
+
+		soak     = fs.Duration("soak", 0, "run a live multi-tenant soak against /v1 for this wall-clock duration instead of one-shot /simulate")
+		tenants  = fs.Int("tenants", 6, "soak: number of tenants to register")
+		minSLO   = fs.Float64("min-slo", 0, "soak: exit non-zero when any SLO class's attainment falls below this floor (0 disables)")
+		seed     = fs.Int64("seed", 1, "soak: plane seed")
+		usageOut = fs.String("usage-out", "", "soak: write the final per-tenant usage rollup JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *soak > 0 {
+		return runSoak(soakConfig{
+			server:   strings.TrimRight(*server, "/"),
+			duration: *soak,
+			tenants:  *tenants,
+			nodes:    *nodes,
+			chaos:    *chaosScale,
+			minSLO:   *minSLO,
+			seed:     *seed,
+			usageOut: *usageOut,
+			timeout:  *timeout,
+		}, stdout)
 	}
 
 	body := map[string]any{

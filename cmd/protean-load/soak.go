@@ -1,0 +1,257 @@
+// Soak mode: a live multi-tenant exercise of proteand's /v1 control
+// plane. It (re)configures the serving plane, registers a fleet of
+// tenants across the gold/silver/bronze SLO classes, and drives a
+// diurnal + bursty request mix against them for a wall-clock duration —
+// including deliberately sparse tenants that go idle long enough to be
+// scaled to zero and then woken again, so suspend/resume shows up in
+// every run. It finishes by draining the plane, printing per-tenant SLO
+// attainment and usage, and failing (non-zero exit) when any SLO
+// class's attainment lands below the -min-slo floor.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+type soakConfig struct {
+	server   string
+	duration time.Duration
+	tenants  int
+	nodes    int
+	chaos    float64
+	minSLO   float64
+	seed     int64
+	usageOut string
+	timeout  time.Duration
+}
+
+// soakTenant is one synthetic tenant's traffic plan.
+type soakTenant struct {
+	id      string
+	model   string
+	class   string
+	baseRPS float64
+	phase   float64
+	// sparse tenants stop sending after 40% of the soak and return at
+	// 90%, exercising scale-to-zero and cold-start wake-up.
+	sparse bool
+}
+
+// soakModels keeps per-tenant load modest so the virtual cluster stays
+// ahead of the wall clock even on small CI machines.
+var soakModels = []string{"ResNet 18", "BERT", "MobileNet", "DistilBERT"}
+
+func planTenants(n int) []soakTenant {
+	classes := []string{"gold", "silver", "bronze"}
+	rates := map[string]float64{"gold": 40, "silver": 25, "bronze": 15}
+	out := make([]soakTenant, 0, n)
+	for i := 0; i < n; i++ {
+		class := classes[i%len(classes)]
+		out = append(out, soakTenant{
+			id:      fmt.Sprintf("tenant-%02d", i),
+			model:   soakModels[i%len(soakModels)],
+			class:   class,
+			baseRPS: rates[class],
+			phase:   2 * math.Pi * float64(i) / float64(n),
+			sparse:  i%4 == 3 || n == 1,
+		})
+	}
+	return out
+}
+
+// rateAt is the diurnal + bursty mix: a sinusoid over the soak period
+// (the compressed "day") with short deterministic bursts layered on
+// top, and the sparse tenants' idle gap carved out.
+func (t soakTenant) rateAt(frac float64, burst bool) float64 {
+	if t.sparse && frac > 0.4 && frac < 0.9 {
+		return 0
+	}
+	r := t.baseRPS * (1 + 0.6*math.Sin(2*math.Pi*frac+t.phase))
+	if burst {
+		r *= 3
+	}
+	return math.Max(0, r)
+}
+
+func runSoak(cfg soakConfig, stdout io.Writer) error {
+	if cfg.tenants <= 0 {
+		cfg.tenants = 1
+	}
+	client := &http.Client{Timeout: cfg.timeout}
+	post := func(path string, body any) (*http.Response, []byte, error) {
+		payload, err := json.Marshal(body)
+		if err != nil {
+			return nil, nil, err
+		}
+		resp, err := client.Post(cfg.server+path, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		return resp, data, err
+	}
+
+	// Fresh plane for this soak.
+	planeBody := map[string]any{"seed": cfg.seed, "keepWarmSeconds": 2.0}
+	if cfg.nodes > 0 {
+		planeBody["nodes"] = cfg.nodes
+	}
+	if cfg.chaos > 0 {
+		planeBody["chaosScale"] = cfg.chaos
+	}
+	if resp, data, err := post("/v1/plane", planeBody); err != nil {
+		return fmt.Errorf("configure plane: %w", err)
+	} else if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("configure plane: %d: %s", resp.StatusCode, serverError(data))
+	}
+
+	tenants := planTenants(cfg.tenants)
+	for _, t := range tenants {
+		body := map[string]any{"id": t.id, "model": t.model, "class": t.class}
+		if t.sparse {
+			body["keepWarmSeconds"] = 1.0
+		}
+		if resp, data, err := post("/v1/tenants", body); err != nil {
+			return fmt.Errorf("register %s: %w", t.id, err)
+		} else if resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("register %s: %d: %s", t.id, resp.StatusCode, serverError(data))
+		}
+	}
+	fmt.Fprintf(stdout, "soak: %d tenants on %s for %s (chaos %.2g, seed %d)\n",
+		cfg.tenants, cfg.server, cfg.duration, cfg.chaos, cfg.seed)
+
+	// Drive the mix: one tick per 100 ms of wall time, sending each
+	// tenant a Poisson-ish batch sized from its instantaneous rate.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	const tick = 100 * time.Millisecond
+	start := time.Now()
+	sent := make(map[string]int, len(tenants))
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= cfg.duration {
+			break
+		}
+		frac := float64(elapsed) / float64(cfg.duration)
+		// ~15% of ticks are global burst windows.
+		burst := rng.Float64() < 0.15
+		for _, t := range tenants {
+			mean := t.rateAt(frac, burst) * tick.Seconds()
+			n := int(mean)
+			if rng.Float64() < mean-float64(n) {
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			resp, data, err := post("/v1/tenants/"+t.id+"/requests", map[string]any{"n": n})
+			if err != nil {
+				return fmt.Errorf("ingest %s: %w", t.id, err)
+			}
+			switch resp.StatusCode {
+			case http.StatusOK, http.StatusAccepted, http.StatusTooManyRequests:
+				sent[t.id] += n
+			default:
+				return fmt.Errorf("ingest %s: %d: %s", t.id, resp.StatusCode, serverError(data))
+			}
+		}
+		time.Sleep(tick)
+	}
+
+	// Freeze and settle all in-flight work, then read the final books.
+	resp, data, err := post("/v1/plane/drain", map[string]any{})
+	if err != nil {
+		return fmt.Errorf("drain plane: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("drain plane: %d: %s", resp.StatusCode, serverError(data))
+	}
+	var sum struct {
+		Duration     float64 `json:"durationSeconds"`
+		Availability float64 `json:"availability"`
+		ColdStarts   int     `json:"coldStarts"`
+		Tenants      []struct {
+			Tenant        string             `json:"tenant"`
+			Class         string             `json:"class"`
+			Model         string             `json:"model"`
+			Admitted      int                `json:"admitted"`
+			Shed          int                `json:"shed"`
+			Rejected      int                `json:"rejected"`
+			Completed     int                `json:"completed"`
+			Dropped       int                `json:"dropped"`
+			SLOViolations int                `json:"sloViolations"`
+			Suspends      int                `json:"suspends"`
+			Resumes       int                `json:"resumes"`
+			SLOAttainment float64            `json:"sloAttainment"`
+			P50Millis     float64            `json:"p50Millis"`
+			P99Millis     float64            `json:"p99Millis"`
+			GPUSeconds    float64            `json:"gpuSeconds"`
+			CostDollars   float64            `json:"costDollars"`
+			Slices        map[string]float64 `json:"sliceSecondsByProfile"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(data, &sum); err != nil {
+		return fmt.Errorf("decode drain summary: %w", err)
+	}
+
+	if cfg.usageOut != "" {
+		if err := os.WriteFile(cfg.usageOut, append(bytes.TrimRight(data, "\n"), '\n'), 0o644); err != nil {
+			return fmt.Errorf("write usage rollup: %w", err)
+		}
+		fmt.Fprintf(stdout, "soak: usage rollup written to %s\n", cfg.usageOut)
+	}
+
+	w := &printer{w: stdout}
+	w.printf("soak finished: %.1f virtual s served, availability %.2f%%, cold starts %d\n",
+		sum.Duration, 100*sum.Availability, sum.ColdStarts)
+	w.printf("%-10s %-7s %8s %6s %6s %8s %5s %5s %6s %9s %9s %10s\n",
+		"tenant", "class", "admitted", "shed", "rej", "done", "susp", "wake", "slo%", "p99ms", "gpu-s", "cost$")
+	classDone := map[string]int{}
+	classViol := map[string]int{}
+	suspends, resumes := 0, 0
+	for _, t := range sum.Tenants {
+		w.printf("%-10s %-7s %8d %6d %6d %8d %5d %5d %5.1f%% %9.1f %9.3f %10.6f\n",
+			t.Tenant, t.Class, t.Admitted, t.Shed, t.Rejected, t.Completed,
+			t.Suspends, t.Resumes, 100*t.SLOAttainment, t.P99Millis, t.GPUSeconds, t.CostDollars)
+		classDone[t.Class] += t.Completed
+		classViol[t.Class] += t.SLOViolations
+		suspends += t.Suspends
+		resumes += t.Resumes
+	}
+	w.printf("scale-to-zero: %d suspends, %d resumes across the fleet\n", suspends, resumes)
+	if w.err != nil {
+		return w.err
+	}
+
+	// Per-class attainment against the floor.
+	classes := make([]string, 0, len(classDone))
+	for c := range classDone {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	var failures []string
+	for _, c := range classes {
+		att := 1.0
+		if classDone[c] > 0 {
+			att = 1 - float64(classViol[c])/float64(classDone[c])
+		}
+		fmt.Fprintf(stdout, "class %-7s attainment %.2f%% (%d completed)\n", c, 100*att, classDone[c])
+		if cfg.minSLO > 0 && att < cfg.minSLO {
+			failures = append(failures, fmt.Sprintf("%s=%.4f", c, att))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("SLO attainment below floor %.4f: %s", cfg.minSLO, strings.Join(failures, ", "))
+	}
+	return nil
+}

@@ -15,6 +15,21 @@
 //	                                   "chaosScale" for fault injection
 //	GET  /traces/{id}[?format=jsonl]   Chrome trace-event JSON by default
 //	GET  /metrics                      Prometheus text exposition
+//
+// With -serve the live multi-tenant control plane is paced by the wall
+// clock (arrivals quantized onto the virtual clock); without it /v1
+// still works but runs in manual mode, where ingest bodies carry
+// explicit virtual timestamps:
+//
+//	POST /v1/plane                     (re)configure the serving plane
+//	GET  /v1/plane                     plane status + backlog
+//	POST /v1/plane/drain               freeze, drain, final summary
+//	GET  /v1/plane/log                 replayable ingest log (NDJSON)
+//	GET  /v1/plane/trace[?kind=...]    lifecycle events (NDJSON)
+//	POST /v1/tenants                   register a tenant
+//	GET  /v1/tenants                   all tenants' usage
+//	GET  /v1/tenants/{id}/usage        usage + billing rollup
+//	POST /v1/tenants/{id}/requests     single JSON or NDJSON stream
 package main
 
 import (
@@ -41,13 +56,25 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("proteand", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	serve := fs.Bool("serve", false, "pace the live /v1 control plane with the wall clock")
+	traceStore := fs.Int("trace-store", api.DefaultTraceStore, "per-simulation traces kept (LRU eviction)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	opts := []api.Option{api.WithTraceStore(*traceStore)}
+	if *serve {
+		// The wall clock is injected here — internal packages never read
+		// it — as monotonic seconds since process start.
+		start := time.Now()
+		opts = append(opts, api.WithWallClock(func() float64 {
+			return time.Since(start).Seconds()
+		}))
+		log.Printf("live control plane enabled (wall-clock paced)")
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           api.Handler(),
+		Handler:           api.NewServer(opts...).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

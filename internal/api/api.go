@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"protean"
+	"protean/internal/controlplane"
 	"protean/internal/experiments"
 	"protean/internal/metrics"
 	"protean/internal/obs"
@@ -86,13 +87,13 @@ type SimulateResponse struct {
 	TraceEvents int `json:"traceEvents,omitempty"`
 }
 
-// maxStoredTraces bounds the per-simulation trace store; the oldest
-// trace is evicted beyond it.
-const maxStoredTraces = 16
+// DefaultTraceStore is the default bound on the per-simulation trace
+// store; the least recently used trace is evicted beyond it.
+const DefaultTraceStore = 16
 
 // Server is the stateful control plane: the REST handlers plus a
-// Prometheus-style metrics registry and a bounded store of
-// per-simulation traces.
+// Prometheus-style metrics registry, a bounded store of per-simulation
+// traces, and (lazily) the live multi-tenant serving plane.
 type Server struct {
 	reg       *obs.Registry
 	httpReqs  *obs.CounterVec
@@ -101,16 +102,42 @@ type Server struct {
 	simP99    *obs.Histogram
 	lastSLO   *obs.Gauge
 
+	traceCap int
+	wallNow  func() float64
+
 	mu      sync.Mutex
 	traces  map[string]obs.Trace
-	order   []string
+	order   []string // trace ids, least recently used first
 	nextTID int
+
+	planeMu sync.Mutex
+	plane   *controlplane.Plane
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithTraceStore bounds the per-simulation trace store (default 16,
+// LRU eviction).
+func WithTraceStore(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.traceCap = n
+		}
+	}
+}
+
+// WithWallClock injects the wall clock (seconds) that paces the live
+// control plane's virtual time. Without it the plane runs in manual
+// mode: ingest requests must carry explicit virtual timestamps.
+func WithWallClock(fn func() float64) Option {
+	return func(s *Server) { s.wallNow = fn }
 }
 
 // NewServer returns a control plane with fresh metrics and trace state.
-func NewServer() *Server {
+func NewServer(opts ...Option) *Server {
 	reg := obs.NewRegistry()
-	return &Server{
+	s := &Server{
 		reg: reg,
 		httpReqs: reg.CounterVec("proteand_http_requests_total",
 			"HTTP requests served, by handler and status code.", "handler", "code"),
@@ -123,8 +150,13 @@ func NewServer() *Server {
 			[]float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}),
 		lastSLO: reg.Gauge("proteand_sim_slo_compliance",
 			"SLO compliance of the most recent simulation."),
-		traces: make(map[string]obs.Trace),
+		traces:   make(map[string]obs.Trace),
+		traceCap: DefaultTraceStore,
 	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Handler returns the REST control plane backed by this server's state.
@@ -141,6 +173,15 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /simulate", "simulate", s.handleSimulate)
 	handle("GET /metrics", "metrics", s.handleMetrics)
 	handle("GET /traces/{id}", "traces", s.handleTrace)
+	handle("POST /v1/plane", "plane-config", s.handlePlaneConfig)
+	handle("GET /v1/plane", "plane-info", s.handlePlaneInfo)
+	handle("POST /v1/plane/drain", "plane-drain", s.handlePlaneDrain)
+	handle("GET /v1/plane/log", "plane-log", s.handlePlaneLog)
+	handle("GET /v1/plane/trace", "plane-trace", s.handlePlaneTrace)
+	handle("POST /v1/tenants", "tenant-create", s.handleTenantCreate)
+	handle("GET /v1/tenants", "tenant-list", s.handleTenantList)
+	handle("GET /v1/tenants/{id}/usage", "tenant-usage", s.handleTenantUsage)
+	handle("POST /v1/tenants/{id}/requests", "tenant-ingest", s.handleIngest)
 	return mux
 }
 
@@ -266,9 +307,12 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
 	tr, ok := s.traces[id]
+	if ok {
+		s.touchTrace(id)
+	}
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown trace %q (traces are evicted after %d newer runs)", id, maxStoredTraces))
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown trace %q (the %d least recently used traces are kept)", id, s.traceCap))
 		return
 	}
 	var err error
@@ -291,7 +335,9 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// storeTrace files a completed run's trace and returns its id.
+// storeTrace files a completed run's trace and returns its id. Beyond
+// the store bound the least recently used trace is evicted — a trace
+// being downloaded repeatedly stays available while stale ones age out.
 func (s *Server) storeTrace(tr obs.Trace) string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -299,11 +345,22 @@ func (s *Server) storeTrace(tr obs.Trace) string {
 	id := "t" + strconv.Itoa(s.nextTID)
 	s.traces[id] = tr
 	s.order = append(s.order, id)
-	if len(s.order) > maxStoredTraces {
+	if len(s.order) > s.traceCap {
 		delete(s.traces, s.order[0])
 		s.order = s.order[1:]
 	}
 	return id
+}
+
+// touchTrace marks a trace as recently used, moving it to the back of
+// the eviction order.
+func (s *Server) touchTrace(id string) {
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(append(s.order[:i:i], s.order[i+1:]...), id)
+			return
+		}
+	}
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {

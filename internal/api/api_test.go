@@ -301,7 +301,7 @@ func TestSimulateTraceRoundtrip(t *testing.T) {
 func TestTraceStoreEviction(t *testing.T) {
 	s := NewServer()
 	var first, last string
-	for i := 0; i < maxStoredTraces+3; i++ {
+	for i := 0; i < DefaultTraceStore+3; i++ {
 		id := s.storeTrace(obs.Trace{Label: "x"})
 		if i == 0 {
 			first = id
@@ -316,9 +316,51 @@ func TestTraceStoreEviction(t *testing.T) {
 	if _, ok := s.traces[last]; !ok {
 		t.Errorf("newest trace %q missing", last)
 	}
-	if len(s.traces) != maxStoredTraces {
-		t.Errorf("stored traces = %d, want %d", len(s.traces), maxStoredTraces)
+	if len(s.traces) != DefaultTraceStore {
+		t.Errorf("stored traces = %d, want %d", len(s.traces), DefaultTraceStore)
 	}
+}
+
+// TestTraceStoreLRUOrder pins the eviction policy: the store is LRU,
+// not FIFO — touching an old trace (a download) protects it from the
+// next eviction, and the untouched oldest entry goes instead.
+func TestTraceStoreLRUOrder(t *testing.T) {
+	s := NewServer(WithTraceStore(3))
+	t1 := s.storeTrace(obs.Trace{Label: "a"})
+	t2 := s.storeTrace(obs.Trace{Label: "b"})
+	t3 := s.storeTrace(obs.Trace{Label: "c"})
+
+	// Touch t1: the LRU order becomes t2, t3, t1.
+	s.mu.Lock()
+	s.touchTrace(t1)
+	s.mu.Unlock()
+
+	t4 := s.storeTrace(obs.Trace{Label: "d"}) // evicts t2, not t1
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.traces[t2]; ok {
+		t.Errorf("least recently used trace %q survived eviction", t2)
+	}
+	for _, id := range []string{t1, t3, t4} {
+		if _, ok := s.traces[id]; !ok {
+			t.Errorf("trace %q missing after eviction", id)
+		}
+	}
+	if want := []string{t3, t1, t4}; !slicesEqual(s.order, want) {
+		t.Errorf("eviction order = %v, want %v", s.order, want)
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestSimulateRejectsBadRequests(t *testing.T) {

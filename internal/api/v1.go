@@ -1,0 +1,328 @@
+// The /v1 API: proteand's live multi-tenant serving surface, backed by
+// internal/controlplane.
+//
+//	POST /v1/plane                    (re)configure the serving plane
+//	GET  /v1/plane                    plane status + backlog
+//	POST /v1/plane/drain              freeze, drain, final summary
+//	GET  /v1/plane/log                ingest log (NDJSON, replayable)
+//	GET  /v1/plane/trace[?kind=...]   lifecycle events (NDJSON)
+//	POST /v1/tenants                  register a tenant
+//	GET  /v1/tenants                  all tenants' usage
+//	GET  /v1/tenants/{id}/usage       one tenant's usage + billing
+//	POST /v1/tenants/{id}/requests    ingest: single JSON or NDJSON stream
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"protean/internal/controlplane"
+)
+
+// PlaneConfig is the POST /v1/plane body. Zero fields keep defaults.
+type PlaneConfig struct {
+	// Seed drives all plane randomness (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Nodes is the worker count (default 8).
+	Nodes int `json:"nodes,omitempty"`
+	// Shards is the shard worker count (default 1; behaviour is
+	// byte-identical at every value).
+	Shards int `json:"shards,omitempty"`
+	// ChaosScale enables deterministic fault injection (0 = off).
+	ChaosScale float64 `json:"chaosScale,omitempty"`
+	// QuantumMillis is the wall→virtual quantization step (default 10).
+	QuantumMillis float64 `json:"quantumMillis,omitempty"`
+	// KeepWarmSeconds is the default tenant idle window before
+	// scale-to-zero (default 10).
+	KeepWarmSeconds float64 `json:"keepWarmSeconds,omitempty"`
+}
+
+// PlaneInfo is the GET /v1/plane response.
+type PlaneInfo struct {
+	VirtualTime float64 `json:"virtualTime"`
+	Tenants     int     `json:"tenants"`
+	// Backlog is total queued-but-unfinished requests.
+	Backlog   int    `json:"backlog"`
+	Decisions int    `json:"decisions"`
+	// Fingerprint hashes every admission decision; two planes that served
+	// identical logs show identical fingerprints.
+	Fingerprint string `json:"fingerprint"`
+	Seed        int64  `json:"seed"`
+	Nodes       int    `json:"nodes"`
+	Shards      int    `json:"shards"`
+}
+
+// getPlane returns the live plane, creating a default one on first use.
+func (s *Server) getPlane() (*controlplane.Plane, error) {
+	s.planeMu.Lock()
+	defer s.planeMu.Unlock()
+	if s.plane == nil {
+		p, err := controlplane.New(controlplane.Options{
+			WallNow:  s.wallNow,
+			Registry: s.reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.plane = p
+	}
+	return s.plane, nil
+}
+
+func (s *Server) handlePlaneConfig(w http.ResponseWriter, r *http.Request) {
+	var cfg PlaneConfig
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	p, err := controlplane.New(controlplane.Options{
+		Seed:            cfg.Seed,
+		Nodes:           cfg.Nodes,
+		Shards:          cfg.Shards,
+		ChaosScale:      cfg.ChaosScale,
+		Quantum:         cfg.QuantumMillis / 1000,
+		KeepWarmDefault: cfg.KeepWarmSeconds,
+		WallNow:         s.wallNow,
+		Registry:        s.reg,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Replace any previous plane; its virtual cluster is garbage once
+	// unreferenced — no teardown needed.
+	s.planeMu.Lock()
+	s.plane = p
+	s.planeMu.Unlock()
+	writeJSON(w, http.StatusOK, planeInfo(p))
+}
+
+func planeInfo(p *controlplane.Plane) PlaneInfo {
+	opts := p.Options()
+	count, hash := p.DecisionFingerprint()
+	return PlaneInfo{
+		VirtualTime: p.Now(),
+		Tenants:     len(p.Tenants()),
+		Backlog:     p.Backlog().Total(),
+		Decisions:   count,
+		Fingerprint: fmt.Sprintf("%016x", hash),
+		Seed:        opts.Seed,
+		Nodes:       opts.Nodes,
+		Shards:      opts.Shards,
+	}
+}
+
+func (s *Server) handlePlaneInfo(w http.ResponseWriter, _ *http.Request) {
+	p, err := s.getPlane()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := p.Sync(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, planeInfo(p))
+}
+
+func (s *Server) handlePlaneDrain(w http.ResponseWriter, _ *http.Request) {
+	p, err := s.getPlane()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	sum, err := p.Drain()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+func (s *Server) handlePlaneLog(w http.ResponseWriter, _ *http.Request) {
+	p, err := s.getPlane()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := newNDJSONWriter(w)
+	for _, e := range p.Log() {
+		if err := out.Encode(e); err != nil {
+			return
+		}
+	}
+	out.start() // an empty log still yields a 200 NDJSON response
+}
+
+func (s *Server) handlePlaneTrace(w http.ResponseWriter, r *http.Request) {
+	p, err := s.getPlane()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	kinds := r.URL.Query()["kind"]
+	out := newNDJSONWriter(w)
+	for _, ev := range p.Events(kinds...) {
+		if err := out.Encode(ev); err != nil {
+			return
+		}
+	}
+	out.start()
+}
+
+func (s *Server) handleTenantCreate(w http.ResponseWriter, r *http.Request) {
+	var cfg controlplane.TenantConfig
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	p, err := s.getPlane()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := p.RegisterTenant(cfg); err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already registered") {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	u, err := p.Usage(cfg.ID)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, u)
+}
+
+func (s *Server) handleTenantList(w http.ResponseWriter, _ *http.Request) {
+	p, err := s.getPlane()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	usages, err := p.UsageAll()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if usages == nil {
+		usages = []controlplane.Usage{}
+	}
+	writeJSON(w, http.StatusOK, usages)
+}
+
+func (s *Server) handleTenantUsage(w http.ResponseWriter, r *http.Request) {
+	p, err := s.getPlane()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	u, err := p.Usage(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, u)
+}
+
+// IngestLine is one ingest instruction: a request count plus, in manual
+// mode (no wall clock), an explicit virtual timestamp.
+type IngestLine struct {
+	// N is the request count (default 1).
+	N int `json:"n,omitempty"`
+	// VT pins the arrival's virtual time; omitted, the wall clock (live
+	// mode) or the plane's current virtual time (manual mode) is used.
+	VT *float64 `json:"vt,omitempty"`
+}
+
+func isNDJSON(contentType string) bool {
+	ct := strings.ToLower(contentType)
+	return strings.Contains(ct, "ndjson") || strings.Contains(ct, "jsonl")
+}
+
+// decisionStatus maps an admission outcome to its HTTP status: admitted
+// work is accepted, shed best-effort work acknowledges with 202, and
+// rejected work gets 429 so clients back off.
+func decisionStatus(d controlplane.Decision) int {
+	switch d.Outcome {
+	case controlplane.OutcomeAdmit:
+		return http.StatusOK
+	case controlplane.OutcomeShed:
+		return http.StatusAccepted
+	default:
+		return http.StatusTooManyRequests
+	}
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	p, err := s.getPlane()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	ingest := func(line IngestLine) (controlplane.Decision, error) {
+		if line.VT != nil {
+			return p.IngestAt(*line.VT, id, line.N)
+		}
+		return p.Ingest(id, line.N)
+	}
+
+	if isNDJSON(r.Header.Get("Content-Type")) {
+		// Chunked NDJSON stream: one decision line per ingest line,
+		// flushed as they happen.
+		dec := json.NewDecoder(r.Body)
+		out := newNDJSONWriter(w)
+		for {
+			var line IngestLine
+			if err := dec.Decode(&line); err == io.EOF {
+				break
+			} else if err != nil {
+				out.fail("decode ingest line: " + err.Error())
+				return
+			}
+			d, err := ingest(line)
+			if err != nil {
+				out.fail(err.Error())
+				return
+			}
+			if err := out.Encode(d); err != nil {
+				return
+			}
+		}
+		out.start()
+		return
+	}
+
+	var line IngestLine
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&line); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	d, err := ingest(line)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "unknown tenant") {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	if d.Outcome == controlplane.OutcomeReject {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, decisionStatus(d), d)
+}

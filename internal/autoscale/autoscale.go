@@ -187,6 +187,24 @@ func (s *Scaler) Prewarm(modelName string, n int) {
 	s.emit("prewarm", modelName, n)
 }
 
+// Drain reclaims every idle warm container for a model immediately,
+// regardless of its keep-alive deadline, and returns how many were
+// reclaimed — the control plane's scale-to-zero hook. Busy containers
+// are untouched; they leave through Release and the usual expiry once
+// their batches complete. A drained pool pays a fresh cold start on the
+// next Acquire (wake-up goes through the ordinary cold-start model).
+func (s *Scaler) Drain(modelName string) int {
+	p := s.pools[modelName]
+	if p == nil || len(p.idleSince) == 0 {
+		return 0
+	}
+	n := len(p.idleSince)
+	p.idleSince = p.idleSince[:0]
+	s.spawned -= n
+	s.emit("drain", modelName, n)
+	return n
+}
+
 // ColdStarts returns the number of cold starts incurred so far.
 func (s *Scaler) ColdStarts() int { return s.coldStarts }
 

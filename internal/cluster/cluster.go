@@ -123,8 +123,18 @@ type node struct {
 
 	up          bool
 	outstanding int
+	// outstandingReqs mirrors outstanding at request granularity for
+	// live-mode backlog queries; it moves at exactly the sites that move
+	// outstanding.
+	outstandingReqs int
 
 	held []heldBatch
+
+	// Live-serving buffers (only filled after StartLive): lane-local
+	// completion and drop records, drained in node order at root
+	// barriers by CollectLive.
+	doneBuf []Completion
+	dropBuf []DropRecord
 
 	beBatchesWindow int
 	lastBEModel     *model.Model
@@ -172,6 +182,11 @@ type Cluster struct {
 	offered   int
 	completed int
 	requeued  int
+
+	// live marks a cluster armed by StartLive: nodes buffer completion
+	// and drop records for the control plane, and the run is driven by
+	// AdvanceTo/Drain instead of Run.
+	live bool
 
 	// Oracle support: per-window upcoming BE load, precomputed from the
 	// full trace.
@@ -381,6 +396,21 @@ func (c *Cluster) Run(reqs []trace.Request, duration float64) (*Result, error) {
 			return nil, err
 		}
 	}
+	if err := c.startControl(); err != nil {
+		return nil, err
+	}
+
+	if err := c.sim.RunUntil(duration); err != nil {
+		return nil, err
+	}
+	return c.drainAll(duration)
+}
+
+// startControl starts the chaos schedule and the dispatch/monitor
+// tickers — the run-time control machinery shared by the one-shot batch
+// path (Run) and the live serving path (StartLive). The creation order
+// is part of the model: timers created earlier win same-instant ties.
+func (c *Cluster) startControl() error {
 	c.chaos.Start(c, c.cfg.Nodes)
 	for i, n := range c.nodes {
 		c.chaos.BindLane(i, n.sim)
@@ -391,22 +421,22 @@ func (c *Cluster) Run(reqs []trace.Request, duration float64) (*Result, error) {
 	// monitor replans.
 	quantum, err := c.sim.Every(c.cfg.DispatchQuantum, c.drainSealed)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	c.quantum = quantum
 	monitor, err := c.sim.Every(c.cfg.MonitorInterval, c.monitorTick)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	c.monitor = monitor
+	return nil
+}
 
-	if err := c.sim.RunUntil(duration); err != nil {
-		return nil, err
-	}
-	// Freeze the world: stop metering, stop new revocations and new
-	// faults, flush partial batches, then drain in-flight work. The
-	// injector must stop here or its self-re-arming Poisson timers
-	// would keep the drain alive forever.
+// drainAll freezes the world — stop metering, stop new revocations and
+// new faults, flush partial batches — then drains in-flight work and
+// assembles the Result. The injector must stop first or its
+// self-re-arming Poisson timers would keep the drain alive forever.
+func (c *Cluster) drainAll(duration float64) (*Result, error) {
 	c.monitor.Stop()
 	c.chaos.Stop()
 	start := 0.0
@@ -651,6 +681,7 @@ func (n *node) beMemPerBatch() float64 {
 // (possibly paying a cold start), then place the batch.
 func (n *node) accept(b *queue.Batch) {
 	n.outstanding++
+	n.outstandingReqs += b.Size()
 	if !b.Strict {
 		n.beBatchesWindow++
 		n.lastBEModel = b.Model
@@ -675,7 +706,9 @@ func (n *node) acquire(b *queue.Batch, attempt int) {
 	if err != nil {
 		// Defensive: Acquire only fails on empty names.
 		n.outstanding--
+		n.outstandingReqs -= b.Size()
 		n.drop(b.ID, b.Size())
+		n.bufferDrop(b.Requests)
 		return
 	}
 	if cold > 0 {
@@ -710,7 +743,9 @@ func (n *node) coldStartFailed(b *queue.Batch, attempt int) {
 	delay, ok := n.cluster.chaos.RetryDelay(n.id, attempt)
 	if !ok {
 		n.outstanding--
+		n.outstandingReqs -= b.Size()
 		n.drop(b.ID, b.Size())
+		n.bufferDrop(b.Requests)
 		return
 	}
 	if tr := n.sim.Tracer(); tr.Enabled() {
@@ -782,6 +817,7 @@ func (n *node) place(b *queue.Batch, cold float64) error {
 // container.
 func (n *node) complete(b *queue.Batch, j *gpu.Job) {
 	n.outstanding--
+	n.outstandingReqs -= b.Size()
 	n.completed += b.Size()
 	if err := n.scaler.Release(b.Model.Name()); err != nil {
 		// Defensive: indicates an accounting bug; drop silently in
@@ -790,6 +826,7 @@ func (n *node) complete(b *queue.Batch, j *gpu.Job) {
 	}
 	base := j.Breakdown()
 	slo := b.Model.SLO(n.cluster.cfg.SLOMultiplier)
+	var liveSamples []metrics.Sample
 	for _, r := range b.Requests {
 		if r.Arrival < n.cluster.cfg.Warmup {
 			continue
@@ -799,14 +836,34 @@ func (n *node) complete(b *queue.Batch, j *gpu.Job) {
 		lat := j.Finished() - r.Arrival
 		bd := base
 		bd.Queue = math.Max(0, j.Started()-r.Arrival-j.ColdStart)
-		n.recorder.Add(metrics.Sample{
+		s := metrics.Sample{
 			Model:     b.Model.Name(),
+			Tenant:    r.Tenant,
 			Strict:    r.Strict,
 			Latency:   lat,
 			SLO:       slo,
 			Breakdown: bd,
 			Completed: j.Finished(),
 			Weight:    1,
+		}
+		n.recorder.Add(s)
+		if n.cluster.live {
+			liveSamples = append(liveSamples, s)
+		}
+	}
+	if n.cluster.live {
+		prof := ""
+		if sl := j.Slice(); sl != nil {
+			prof = sl.Prof.Name
+		}
+		n.doneBuf = append(n.doneBuf, Completion{
+			Time:        j.Finished(),
+			Node:        n.id,
+			Model:       b.Model.Name(),
+			Profile:     prof,
+			ExecSeconds: math.Max(0, j.Finished()-j.Started()),
+			ColdStart:   j.ColdStart,
+			Samples:     liveSamples,
 		})
 	}
 	n.pumpHeld()
@@ -819,12 +876,14 @@ func (n *node) complete(b *queue.Batch, j *gpu.Job) {
 // pressure BE is shed to protect strict deadlines.
 func (n *node) jobFailed(b *queue.Batch, j *gpu.Job) {
 	n.outstanding--
+	n.outstandingReqs -= b.Size()
 	if err := n.scaler.Release(b.Model.Name()); err != nil {
 		// Defensive: indicates an accounting bug.
 		_ = err
 	}
 	if !b.Strict && len(n.cluster.pendingGlobal) > 0 {
 		n.drop(b.ID, b.Size())
+		n.bufferDrop(b.Requests)
 		return
 	}
 	n.cluster.requeued += b.Size()
@@ -903,6 +962,7 @@ func (n *node) evacuate() {
 	n.held = nil
 	for _, h := range held {
 		n.outstanding--
+		n.outstandingReqs -= h.batch.Size()
 		// Cold-start time already paid stays paid; the batch re-enters
 		// dispatch and may pay another one elsewhere.
 		n.cluster.dispatch(h.batch)

@@ -1,0 +1,70 @@
+package controlplane
+
+import (
+	"protean/internal/autoscale"
+	"protean/internal/obs"
+)
+
+// ringTracer is a bounded in-memory event collector: the plane keeps
+// the most recent cap lifecycle events for GET /v1/plane/trace. It is
+// only touched from root simulation context and under the plane mutex,
+// so it needs no locking of its own.
+type ringTracer struct {
+	cap    int
+	events []obs.Event
+	next   int // write cursor once the ring is full
+	full   bool
+}
+
+func newRingTracer(cap int) *ringTracer {
+	return &ringTracer{cap: cap}
+}
+
+// Enabled implements obs.Tracer.
+func (r *ringTracer) Enabled() bool { return true }
+
+// Emit implements obs.Tracer.
+func (r *ringTracer) Emit(ev obs.Event) {
+	if !r.full {
+		r.events = append(r.events, ev)
+		if len(r.events) == r.cap {
+			r.full = true
+		}
+		return
+	}
+	r.events[r.next] = ev
+	r.next = (r.next + 1) % r.cap
+}
+
+// snapshot returns buffered events oldest-first, optionally filtered to
+// the named kinds.
+func (r *ringTracer) snapshot(kinds []string) []obs.Event {
+	var ordered []obs.Event
+	if r.full {
+		ordered = append(ordered, r.events[r.next:]...)
+		ordered = append(ordered, r.events[:r.next]...)
+	} else {
+		ordered = append(ordered, r.events...)
+	}
+	if len(kinds) == 0 {
+		return ordered
+	}
+	want := make(map[string]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	out := ordered[:0]
+	for _, ev := range ordered {
+		if want[ev.Kind.String()] {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// scalerConfig tunes container autoscaling for live serving: a much
+// shorter keep-alive than the batch default, because the tenant
+// keep-warm layer above it owns long-horizon warmth.
+func scalerConfig(keepAlive float64) autoscale.Config {
+	return autoscale.Config{KeepAlive: keepAlive}
+}

@@ -19,6 +19,9 @@ import (
 type Sample struct {
 	// Model is the invoked model's name.
 	Model string
+	// Tenant is the owning tenant id for live control-plane traffic
+	// (empty for batch experiment runs).
+	Tenant string
 	// Strict marks samples from strict-SLO requests.
 	Strict bool
 	// Latency is the end-to-end request latency in seconds.
@@ -89,6 +92,34 @@ func (r *Recorder) BestEffort() *Recorder {
 // ForModel returns samples of one model.
 func (r *Recorder) ForModel(name string) *Recorder {
 	return r.Filter(func(s Sample) bool { return s.Model == name })
+}
+
+// ForTenant returns samples belonging to one tenant (live control-plane
+// traffic tags every sample with its tenant id).
+func (r *Recorder) ForTenant(id string) *Recorder {
+	return r.Filter(func(s Sample) bool { return s.Tenant == id })
+}
+
+// Attainment returns the weighted fraction of samples with a latency
+// target (SLO > 0) that met it, across both request classes — the
+// per-tenant serving metric of the live control plane, where best-effort
+// tenants carry soft targets too. It returns NaN when no sample has a
+// target.
+func (r *Recorder) Attainment() float64 {
+	total, met := 0, 0
+	for _, s := range r.samples {
+		if s.SLO <= 0 {
+			continue
+		}
+		total += s.Weight
+		if s.Latency <= s.SLO {
+			met += s.Weight
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(met) / float64(total)
 }
 
 // SLOCompliance returns the weighted fraction of strict samples meeting

@@ -93,6 +93,27 @@ const (
 	// KindOrphanRequeue is a batch orphaned by slice or node loss
 	// re-entering dispatch (Requests = request count).
 	KindOrphanRequeue
+	// KindTenantAdmit is a live control-plane request admitted for a
+	// tenant (Detail = tenant id, Requests = request count,
+	// Value = predicted queueing delay in seconds).
+	KindTenantAdmit
+	// KindTenantReject is a live request rejected with 429 (Detail =
+	// tenant id, Model = reject reason: "rate-limit" or "backlog").
+	KindTenantReject
+	// KindTenantShed is a best-effort live request shed under backlog
+	// pressure (Detail = tenant id, Value = predicted delay).
+	KindTenantShed
+	// KindTenantSuspend is a tenant scaling to zero after its keep-warm
+	// window expired (Detail = tenant id, Value = idle seconds,
+	// Requests = containers reclaimed across nodes).
+	KindTenantSuspend
+	// KindTenantResume is a suspended tenant waking up (Detail = tenant
+	// id, Model = wake reason: "request" or "prewarm-hint").
+	KindTenantResume
+	// KindUsageTick is one per-second metering rollup closing (Detail =
+	// tenant id, Requests = requests completed in the window,
+	// Value = GPU-slice-seconds accrued in the window).
+	KindUsageTick
 )
 
 // kindNames indexes Kind.String; order must match the constants.
@@ -116,6 +137,12 @@ var kindNames = [...]string{
 	KindRetry:         "retry",
 	KindRepair:        "repair",
 	KindOrphanRequeue: "orphan-requeue",
+	KindTenantAdmit:   "tenant-admit",
+	KindTenantReject:  "tenant-reject",
+	KindTenantShed:    "tenant-shed",
+	KindTenantSuspend: "tenant-suspend",
+	KindTenantResume:  "tenant-resume",
+	KindUsageTick:     "usage-tick",
 }
 
 // String implements fmt.Stringer.

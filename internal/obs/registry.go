@@ -163,6 +163,25 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return &Gauge{reg: r, ser: f.get(nil)}
 }
 
+// GaugeVec registers (or finds) a gauge family with label keys.
+type GaugeVec struct {
+	reg *Registry
+	fam *family
+}
+
+// GaugeVec registers (or finds) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, keys ...string) *GaugeVec {
+	return &GaugeVec{reg: r, fam: r.family(name, help, typeGauge, keys, nil)}
+}
+
+// With returns the series for the given label values (created on first
+// use).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	v.reg.mu.Lock()
+	defer v.reg.mu.Unlock()
+	return &Gauge{reg: v.reg, ser: v.fam.get(values)}
+}
+
 // Set replaces the gauge value.
 func (g *Gauge) Set(v float64) {
 	g.reg.mu.Lock()

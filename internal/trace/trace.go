@@ -19,6 +19,9 @@ import (
 type Request struct {
 	// ID is unique within one generated trace.
 	ID uint64
+	// Tenant is the owning tenant id for live control-plane traffic;
+	// batch experiment traces leave it empty.
+	Tenant string
 	// Model is the invoked inference model.
 	Model *model.Model
 	// Strict marks requests with a hard SLO deadline; others are best
