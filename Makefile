@@ -39,9 +39,11 @@ race:
 # bench/baseline.txt (speedup = baseline ns/op ÷ current ns/op), then
 # the sharded event-loop benchmark into BENCH_PR7.json (events/sec per
 # -shards level; the shards=4 / shards=1 ratio is the sharding speedup,
-# ~1.0 on a single-CPU runner).
+# ~1.0 on a single-CPU runner), then the million-user scale cells into
+# BENCH_PR9.json (events/sec and peak-heap-MB per scale; the 100x cell
+# fails outright above the pinned heap ceiling).
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -skip BenchmarkShardedScenario \
+	$(GO) test -run '^$$' -bench . -benchmem -skip 'BenchmarkShardedScenario|BenchmarkScaleCell' \
 		./internal/gpu ./internal/sim ./internal/experiments \
 		| $(GO) run ./cmd/protean-benchjson -baseline bench/baseline.txt -o BENCH_PR4.json
 	@echo wrote BENCH_PR4.json
@@ -49,6 +51,10 @@ bench:
 		./internal/experiments \
 		| $(GO) run ./cmd/protean-benchjson -o BENCH_PR7.json
 	@echo wrote BENCH_PR7.json
+	$(GO) test -run '^$$' -bench BenchmarkScaleCell -benchtime 1x \
+		./internal/experiments \
+		| $(GO) run ./cmd/protean-benchjson -o BENCH_PR9.json
+	@echo wrote BENCH_PR9.json
 
 # Smoke-run a pair of cheap experiments through the parallel scenario
 # runner; CI uses this to catch runner regressions end to end.

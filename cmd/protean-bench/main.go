@@ -54,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		parallel = fs.Int("parallel", 0, "scenario worker goroutines (0 = all CPUs, 1 = sequential)")
 		shards   = fs.Int("shards", 1, "within-scenario shard workers; output is byte-identical at every value")
 		quick    = fs.Bool("quick", false, "smaller model sweeps and durations")
+		sketch   = fs.Bool("sketch", false, "O(1)-memory quantile sketches instead of exact sample buffers (1% relative error; -run scale always sketches)")
 		asJSON   = fs.Bool("json", false, "emit JSON instead of text tables")
 		format   = fs.String("format", "text", "table format: text, markdown, csv")
 		traceOut = fs.String("trace", "", "write a merged lifecycle trace to `file` (.jsonl = event log, else Chrome trace JSON)")
@@ -126,13 +127,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	params := experiments.Params{
-		Nodes:    *nodes,
-		Duration: *duration,
-		Warmup:   *warmup,
-		Seed:     *seed,
-		Parallel: *parallel,
-		Shards:   *shards,
-		Quick:    *quick,
+		Nodes:           *nodes,
+		Duration:        *duration,
+		Warmup:          *warmup,
+		Seed:            *seed,
+		Parallel:        *parallel,
+		Shards:          *shards,
+		Quick:           *quick,
+		SketchQuantiles: *sketch,
 	}
 	if *traceOut != "" {
 		params.Trace = obs.NewTraceSet()

@@ -19,6 +19,7 @@ import (
 	"protean/internal/metrics"
 	"protean/internal/model"
 	"protean/internal/obs"
+	"protean/internal/pool"
 	"protean/internal/queue"
 	"protean/internal/reconfig"
 	"protean/internal/sim"
@@ -77,6 +78,12 @@ type Config struct {
 	// Policies keep planning in A100 profile names; geometries are
 	// translated by slot prefix, so an H100 fleet gets 80 GB slices.
 	Arch *gpu.Arch
+	// SketchQuantiles switches every recorder — per-node accumulators
+	// and the merged result — into O(1)-memory sketch mode (see
+	// metrics.NewSketchRecorder). Default off: exact sample buffering,
+	// byte-identical to prior releases. Scale runs opt in so peak memory
+	// stays flat in the request count.
+	SketchQuantiles bool
 }
 
 func (c *Config) applyDefaults() {
@@ -144,6 +151,19 @@ type node struct {
 	timeline  []GeometryEvent
 	completed int
 	dropped   int
+
+	// jobFree recycles gpu.Job objects for this node's placements. The
+	// list is touched from root barrier context (dispatch → place) and
+	// the node's own lane (pumpHeld, completions) — never concurrently,
+	// by the barrier exclusivity contract.
+	jobFree pool.Free[gpu.Job]
+	// onDone/onFail are the hoisted per-node completion callbacks, so a
+	// placement costs no closure allocations.
+	onDone, onFail func(*gpu.Job)
+	// spent buffers completed batches (lane context); the root returns
+	// them to the batcher's freelist at each dispatch barrier, in node
+	// order, so reuse order is shard-count-independent.
+	spent []*queue.Batch
 }
 
 // GeometryEvent records one geometry installation (for Figure 7).
@@ -213,6 +233,9 @@ func New(s *sim.Sim, cfg Config) (*Cluster, error) {
 	cfg.applyDefaults()
 
 	c := &Cluster{cfg: cfg, sim: s, recorder: &metrics.Recorder{}}
+	if cfg.SketchQuantiles {
+		c.recorder = metrics.NewSketchRecorder()
+	}
 	// The gateway lane is created first so its trace events sort ahead
 	// of node-lane events at equal timestamps (arrival before service).
 	c.gateway = s.Lane("gateway")
@@ -272,6 +295,14 @@ func New(s *sim.Sim, cfg Config) (*Cluster, error) {
 			scaler:  scaler,
 			up:      true,
 		}
+		if cfg.SketchQuantiles {
+			// Lane-local accumulators sketch too, or per-node sample
+			// buffers would still grow with the request count.
+			n.recorder = *metrics.NewSketchRecorder()
+		}
+		n.jobFree.Reset = (*gpu.Job).Reset
+		n.onDone = func(j *gpu.Job) { n.complete(j.Ctx.(*queue.Batch), j) }
+		n.onFail = func(j *gpu.Job) { n.jobFailed(j.Ctx.(*queue.Batch), j) }
 		for _, m := range cfg.PreWarm {
 			count := cfg.PreWarmCount
 			if count <= 0 {
@@ -312,6 +343,18 @@ func New(s *sim.Sim, cfg Config) (*Cluster, error) {
 // Recorder exposes the metrics recorder.
 func (c *Cluster) Recorder() *metrics.Recorder { return c.recorder }
 
+// PoolStats aggregates freelist hit/miss counters across the batcher
+// (batch and partial-batch shells) and every node's job list. The
+// counts are deterministic for a seed at any shard count. Call from
+// root context only.
+func (c *Cluster) PoolStats() pool.Stats {
+	st := c.batcher.PoolStats()
+	for _, n := range c.nodes {
+		st.Add(n.jobFree.Stats())
+	}
+	return st
+}
+
 // Submit feeds one request into the gateway.
 func (c *Cluster) Submit(req trace.Request) error { return c.batcher.Add(req) }
 
@@ -349,26 +392,21 @@ type Result struct {
 	Availability metrics.Availability
 	// Chaos reports injected-fault counters (nil when chaos is off).
 	Chaos *chaos.Stats
+	// Pool counts hot-object freelist traffic (job/batch reuse); hits
+	// are deterministic for a seed at any shard count.
+	Pool pool.Stats
 }
 
-// Run replays a request trace and drains the system. duration is the
-// trace horizon; requests beyond it are ignored.
+// Run replays a materialised request trace and drains the system.
+// duration is the trace horizon; requests beyond it are ignored. The
+// slice is adapted into the same pull-based pump RunStream uses, so
+// both paths schedule byte-identically.
 func (c *Cluster) Run(reqs []trace.Request, duration float64) (*Result, error) {
 	if duration <= 0 {
 		return nil, fmt.Errorf("cluster: duration %v must be positive", duration)
 	}
 	c.precomputeWindows(reqs, duration)
 
-	if c.fleet != nil {
-		if err := c.fleet.Start(); err != nil {
-			return nil, err
-		}
-	}
-	// One self-rescheduling pump walks the time-sorted trace on the
-	// gateway lane instead of pre-scheduling a timer per request: the
-	// gateway's heap stays shallow and allocation-free no matter how
-	// large the trace is, while each arrival still executes as its own
-	// event at its own timestamp (so batching behaviour is unchanged).
 	if !sort.SliceIsSorted(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival }) {
 		sorted := make([]trace.Request, len(reqs))
 		copy(sorted, reqs)
@@ -376,20 +414,67 @@ func (c *Cluster) Run(reqs []trace.Request, duration float64) (*Result, error) {
 		reqs = sorted
 	}
 	n := sort.Search(len(reqs), func(i int) bool { return reqs[i].Arrival >= duration })
-	c.offered += n
-	if n > 0 {
-		idx := 0
+	idx := 0
+	return c.runPump(func() (trace.Request, bool) {
+		if idx >= n {
+			return trace.Request{}, false
+		}
+		r := reqs[idx]
+		idx++
+		return r, true
+	}, duration)
+}
+
+// RunStream replays a pull-based arrival stream without ever
+// materialising it: peak memory is independent of the request count.
+// Arrivals at or past the horizon end the pump. Policies needing the
+// Oracle's ground-truth window loads must call PrecomputeOracle with an
+// independent same-config stream first; all other policies ignore the
+// window arrays, so skipping it changes nothing.
+func (c *Cluster) RunStream(st *trace.Stream, duration float64) (*Result, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("cluster: duration %v must be positive", duration)
+	}
+	if st == nil {
+		return nil, errors.New("cluster: nil stream")
+	}
+	return c.runPump(func() (trace.Request, bool) {
+		r, ok := st.Next()
+		if !ok || r.Arrival >= duration {
+			return trace.Request{}, false
+		}
+		return r, true
+	}, duration)
+}
+
+// runPump starts the arrival pump over a pull-based request source and
+// runs the simulation to the horizon. One self-rescheduling timer pulls
+// the next arrival after pumping the current one, so the gateway's heap
+// stays shallow and allocation-free no matter how large the trace is,
+// while each arrival still executes as its own event at its own
+// timestamp (batching behaviour is unchanged from the sorted-slice
+// walk).
+func (c *Cluster) runPump(next func() (trace.Request, bool), duration float64) (*Result, error) {
+	if c.fleet != nil {
+		if err := c.fleet.Start(); err != nil {
+			return nil, err
+		}
+	}
+	if cur, ok := next(); ok {
 		var pump *sim.Timer
 		var err error
-		pump, err = c.gateway.At(reqs[0].Arrival, func() {
-			if err := c.batcher.Add(reqs[idx]); err != nil {
+		pump, err = c.gateway.At(cur.Arrival, func() {
+			c.offered++
+			if err := c.batcher.Add(cur); err != nil {
 				c.dropped++
 			}
-			idx++
-			if idx < n {
-				if err := pump.Reschedule(reqs[idx].Arrival); err != nil {
-					panic(err) // unreachable: arrivals are sorted, so never in the past
-				}
+			nxt, ok := next()
+			if !ok {
+				return
+			}
+			cur = nxt
+			if err := pump.Reschedule(nxt.Arrival); err != nil {
+				panic(err) // unreachable: arrivals are sorted, so never in the past
 			}
 		})
 		if err != nil {
@@ -514,24 +599,54 @@ func (c *Cluster) drainAll(duration float64) (*Result, error) {
 		ReconfigAborts:  aborts,
 		Availability:    avail,
 		Chaos:           chaosStats,
+		Pool:            c.PoolStats(),
 	}, nil
 }
 
 // precomputeWindows derives per-monitor-window upcoming BE load for the
-// Oracle's perfect predictions.
+// Oracle's perfect predictions from a materialised trace.
 func (c *Cluster) precomputeWindows(reqs []trace.Request, duration float64) {
+	add, finish := c.windowAccumulator(duration)
+	for _, r := range reqs {
+		add(r)
+	}
+	finish()
+}
+
+// PrecomputeOracle derives the Oracle's per-window BE load by draining
+// an independent arrival stream — one with the identical trace config
+// as the stream later passed to RunStream — in O(windows) memory.
+// Only policies consuming the Oracle's ground-truth window view need
+// this; every other policy ignores the window arrays.
+func (c *Cluster) PrecomputeOracle(st *trace.Stream, duration float64) {
+	add, finish := c.windowAccumulator(duration)
+	for {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		add(r)
+	}
+	finish()
+}
+
+// windowAccumulator returns the per-request fold and the finalizer
+// behind both oracle precompute paths: add bins BE arrivals into
+// monitor windows, finish converts per-window request counts into
+// per-node batch counts.
+func (c *Cluster) windowAccumulator(duration float64) (add func(trace.Request), finish func()) {
 	w := c.cfg.MonitorInterval
 	n := int(duration/w) + 2
 	c.windowBEBatches = make([]int, n)
 	c.windowBEMem = make([]float64, n)
 	beReqs := make([]int, n)
-	for _, r := range reqs {
+	add = func(r trace.Request) {
 		if r.Strict || r.Arrival >= duration {
-			continue
+			return
 		}
 		idx := int(r.Arrival / w)
 		if idx >= n {
-			continue
+			return
 		}
 		beReqs[idx]++
 		c.windowBEMem[idx] = r.Model.MemGB(gpu.Profile3g)
@@ -539,13 +654,16 @@ func (c *Cluster) precomputeWindows(reqs []trace.Request, duration float64) {
 			c.windowBEBatches[idx] = r.Model.BatchSize()
 		}
 	}
-	for i := range beReqs {
-		if c.windowBEBatches[i] > 0 {
-			batchSize := c.windowBEBatches[i]
-			perNode := int(math.Ceil(float64(beReqs[i]) / float64(batchSize) / float64(c.cfg.Nodes)))
-			c.windowBEBatches[i] = perNode
+	finish = func() {
+		for i := range beReqs {
+			if c.windowBEBatches[i] > 0 {
+				batchSize := c.windowBEBatches[i]
+				perNode := int(math.Ceil(float64(beReqs[i]) / float64(batchSize) / float64(c.cfg.Nodes)))
+				c.windowBEBatches[i] = perNode
+			}
 		}
 	}
+	return add, finish
 }
 
 // enqueueSealed is the batcher's emit hook: it appends the sealed
@@ -558,8 +676,18 @@ func (c *Cluster) enqueueSealed(b *queue.Batch) {
 }
 
 // drainSealed routes every mailbox batch to a node, in seal order —
-// the deterministic barrier drain of the dispatch quantum.
+// the deterministic barrier drain of the dispatch quantum. It also
+// returns batches the nodes finished since the last barrier to the
+// batcher's freelist, in node order, so reuse order never depends on
+// the shard count.
 func (c *Cluster) drainSealed() {
+	for _, n := range c.nodes {
+		for i, b := range n.spent {
+			c.batcher.Release(b)
+			n.spent[i] = nil
+		}
+		n.spent = n.spent[:0]
+	}
 	sealed := c.sealed
 	c.sealed = c.sealed[:0]
 	for _, b := range sealed {
@@ -794,20 +922,23 @@ func (n *node) place(b *queue.Batch, cold float64) error {
 	// An injected straggler spikes this batch's service time on top of
 	// the ordinary lognormal variability.
 	jitter *= n.cluster.chaos.Straggler(n.id, b.ID)
-	job := &gpu.Job{
-		W:         b.Model,
-		Strict:    b.Strict,
-		Requests:  b.Size(),
-		SMFrac:    n.policy.SMCap(b.Strict),
-		Scale:     batchScale(b),
-		Jitter:    jitter,
-		Enqueued:  n.sim.Now(),
-		ColdStart: cold,
-		TraceID:   b.ID,
-	}
-	job.OnDone = func(j *gpu.Job) { n.complete(b, j) }
-	job.OnFail = func(j *gpu.Job) { n.jobFailed(b, j) }
+	job := n.jobFree.Get()
+	job.W = b.Model
+	job.Strict = b.Strict
+	job.Requests = b.Size()
+	job.SMFrac = n.policy.SMCap(b.Strict)
+	job.Scale = batchScale(b)
+	job.Jitter = jitter
+	job.Enqueued = n.sim.Now()
+	job.ColdStart = cold
+	job.TraceID = b.ID
+	job.Ctx = b
+	job.OnDone = n.onDone
+	job.OnFail = n.onFail
 	if err := sl.Submit(job); err != nil {
+		// Submit rejects before retaining the job (closed slice or
+		// over-memory), so the object can go straight back.
+		n.jobFree.Put(job)
 		return err
 	}
 	return nil
@@ -866,6 +997,12 @@ func (n *node) complete(b *queue.Batch, j *gpu.Job) {
 			Samples:     liveSamples,
 		})
 	}
+	// The engine detached the job before OnDone and every sample above
+	// copied what it needed, so both hot objects recycle here: the job
+	// immediately (pumpHeld may place with it), the batch via the spent
+	// buffer the root drains at the next dispatch barrier.
+	n.spent = append(n.spent, b)
+	n.jobFree.Put(j)
 	n.pumpHeld()
 }
 

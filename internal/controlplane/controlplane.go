@@ -369,6 +369,7 @@ func (p *Plane) collect() {
 			p.meter.dropped(d.Tenant, d.Requests)
 		}
 	}
+	p.meter.poolStats(p.cluster.PoolStats())
 }
 
 // applyCompletion attributes one finished batch: slice-seconds split

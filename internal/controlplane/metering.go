@@ -13,6 +13,7 @@ import (
 
 	"protean/internal/gpu"
 	"protean/internal/obs"
+	"protean/internal/pool"
 )
 
 // Billing rates. GPUSecondRate approximates an on-demand A100 at
@@ -49,11 +50,11 @@ type Window struct {
 
 // Usage is a tenant's cumulative account.
 type Usage struct {
-	Tenant    string  `json:"tenant"`
-	Class     string  `json:"class"`
-	Model     string  `json:"model"`
-	Strict    bool    `json:"strict"`
-	Suspended bool    `json:"suspended"`
+	Tenant    string `json:"tenant"`
+	Class     string `json:"class"`
+	Model     string `json:"model"`
+	Strict    bool   `json:"strict"`
+	Suspended bool   `json:"suspended"`
 	// TargetMillis is the tenant's latency target.
 	TargetMillis float64 `json:"targetMillis"`
 	// VirtualTime is the plane clock when the snapshot was taken.
@@ -217,6 +218,8 @@ type meter struct {
 	violationsV  *obs.CounterVec // tenant
 	sliceSecsVec *obs.CounterVec // tenant, profile
 	suspendedVec *obs.GaugeVec   // tenant
+	poolHitsG    *obs.Gauge
+	poolMissesG  *obs.Gauge
 }
 
 func newMeter(reg *obs.Registry) *meter {
@@ -236,7 +239,21 @@ func newMeter(reg *obs.Registry) *meter {
 			"GPU slice occupancy by MIG profile per tenant.", "tenant", "profile"),
 		suspendedVec: reg.GaugeVec("proteand_tenant_suspended",
 			"1 while the tenant is scaled to zero.", "tenant"),
+		poolHitsG: reg.Gauge("proteand_pool_hits",
+			"Cumulative freelist reuses across the cluster's object pools."),
+		poolMissesG: reg.Gauge("proteand_pool_misses",
+			"Cumulative fresh allocations across the cluster's object pools."),
 	}
+}
+
+// poolStats publishes the cluster's freelist counters. The values are
+// cumulative, but arrive as absolute snapshots, so they are gauges.
+func (m *meter) poolStats(st pool.Stats) {
+	if m.poolHitsG == nil {
+		return
+	}
+	m.poolHitsG.Set(float64(st.Hits))
+	m.poolMissesG.Set(float64(st.Misses))
 }
 
 func (m *meter) registerTenant(id string) {

@@ -85,6 +85,14 @@ type Params struct {
 	// (zero value: disabled — runs are byte-identical to a build
 	// without the chaos subsystem). Scenario.Chaos overrides it.
 	Chaos chaos.Config
+	// SketchQuantiles runs every recorder in O(1)-memory sketch mode
+	// (metrics.NewSketchRecorder): percentiles become sketch estimates
+	// within metrics.SketchAlpha relative error, per-sample surfaces
+	// (latency breakdowns, raw latency lists for the Welch tests) are
+	// unavailable, and peak memory stays flat in the request count.
+	// Default off — the exact path keeps goldens, grid cells, and
+	// statistical tests byte-identical. The scale sweep forces it on.
+	SketchQuantiles bool
 }
 
 // tracer registers a collector for a one-off (non-batch) scenario run;
@@ -208,12 +216,44 @@ func runScenario(p Params, sc Scenario, tr obs.Tracer) (*cluster.Result, error) 
 // request trace, the simulator (exposed so the events/sec benchmark can
 // read Executed()), and the cluster wired onto it.
 func buildScenario(p Params, sc Scenario, tr obs.Tracer) ([]trace.Request, *sim.Sim, *cluster.Cluster, error) {
+	tc, s, c, err := buildScenarioCommon(p, sc, tr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	reqs, err := trace.Generate(tc)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("experiments: generate trace: %w", err)
+	}
+	return reqs, s, c, nil
+}
+
+// buildScenarioStream is buildScenario without the materialised trace:
+// the arrival stream is pulled by the cluster's pump one request at a
+// time, so scenario memory is independent of the request count. The
+// stream path skips the Oracle's window precompute (no scale scenario
+// uses the Oracle; callers that need it can run cluster.PrecomputeOracle
+// with a second stream).
+func buildScenarioStream(p Params, sc Scenario, tr obs.Tracer) (*trace.Stream, *sim.Sim, *cluster.Cluster, error) {
+	tc, s, c, err := buildScenarioCommon(p, sc, tr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st, err := trace.NewStream(tc)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("experiments: open trace stream: %w", err)
+	}
+	return st, s, c, nil
+}
+
+// buildScenarioCommon assembles the trace config, simulator, and
+// cluster shared by the materialised and streaming builders.
+func buildScenarioCommon(p Params, sc Scenario, tr obs.Tracer) (trace.Config, *sim.Sim, *cluster.Cluster, error) {
 	p = p.withDefaults()
 	if sc.Policy == nil {
-		return nil, nil, nil, errors.New("experiments: scenario without policy")
+		return trace.Config{}, nil, nil, errors.New("experiments: scenario without policy")
 	}
 	if sc.Strict == nil && sc.StrictFrac != 0 {
-		return nil, nil, nil, errors.New("experiments: scenario without strict model")
+		return trace.Config{}, nil, nil, errors.New("experiments: scenario without strict model")
 	}
 	pool := sc.BEPool
 	if pool == nil && sc.Strict != nil {
@@ -227,7 +267,7 @@ func buildScenario(p Params, sc Scenario, tr obs.Tracer) ([]trace.Request, *sim.
 	if strictFrac == 0 && sc.Strict != nil {
 		strictFrac = 0.5
 	}
-	reqs, err := trace.Generate(trace.Config{
+	tc := trace.Config{
 		Rate: rate,
 		Mix: trace.Mix{
 			StrictFrac:   strictFrac,
@@ -237,9 +277,6 @@ func buildScenario(p Params, sc Scenario, tr obs.Tracer) ([]trace.Request, *sim.
 		},
 		Duration: p.Duration,
 		Seed:     p.Seed,
-	})
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("experiments: generate trace: %w", err)
 	}
 
 	var prewarm []*model.Model
@@ -266,20 +303,21 @@ func buildScenario(p Params, sc Scenario, tr obs.Tracer) ([]trace.Request, *sim.
 		s.SetTracer(tr)
 	}
 	c, err := cluster.New(s, cluster.Config{
-		Nodes:         p.Nodes,
-		Policy:        sc.Policy,
-		SLOMultiplier: sc.SLOMultiplier,
-		Warmup:        p.Warmup,
-		PreWarm:       prewarm,
-		PreWarmCount:  4,
-		VM:            vmCfg,
-		Arch:          sc.Arch,
-		Chaos:         chaosCfg,
+		Nodes:           p.Nodes,
+		Policy:          sc.Policy,
+		SLOMultiplier:   sc.SLOMultiplier,
+		Warmup:          p.Warmup,
+		PreWarm:         prewarm,
+		PreWarmCount:    4,
+		VM:              vmCfg,
+		Arch:            sc.Arch,
+		Chaos:           chaosCfg,
+		SketchQuantiles: p.SketchQuantiles,
 	})
 	if err != nil {
-		return nil, nil, nil, err
+		return trace.Config{}, nil, nil, err
 	}
-	return reqs, s, c, nil
+	return tc, s, c, nil
 }
 
 // Table is a rendered experiment artifact.
@@ -378,10 +416,11 @@ func Registry() []Experiment {
 
 // Extras lists experiments that are not part of the paper reproduction
 // and therefore excluded from `-run all` (keeping its output stable):
-// currently the chaos fault sweep.
+// the chaos fault sweep and the million-user scale sweep.
 func Extras() []Experiment {
 	return []Experiment{
 		{ID: "chaos", Title: "Extra: availability and cost under injected faults (chaos sweep)", Run: ChaosSweep},
+		{ID: "scale", Title: "Extra: million-user scale sweep (streamed arrivals, sketched recorders)", Run: ScaleSweep},
 	}
 }
 

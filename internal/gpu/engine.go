@@ -117,6 +117,10 @@ type Job struct {
 	// TraceID correlates the job's lifecycle events with the batch that
 	// produced it (queue.Batch.ID); 0 means untraced.
 	TraceID uint64
+	// Ctx is an opaque owner context the engine never touches. The
+	// cluster stores the originating batch here so its completion
+	// callbacks can be hoisted per node instead of closed over per job.
+	Ctx any
 
 	slice       *Slice
 	started     float64
@@ -141,6 +145,13 @@ type Job struct {
 	invMemGB  float64 // W.MemGB(slice.Prof)
 	invCached bool
 }
+
+// Reset clears a finished job for freelist reuse, dropping every
+// pointer (slice, timer, callbacks) so nothing is retained through the
+// pool. Only safe once the engine has fully detached the job: after
+// OnDone has returned (completion detaches before the callback), or
+// after the owner is done rerouting a failed job.
+func (j *Job) Reset() { *j = Job{} }
 
 // cacheInvariants snapshots the residency-invariant quantities for a job
 // starting on a slice with profile p. The cached values are bitwise

@@ -6,7 +6,7 @@
 // mutable write may cross a future shard boundary unordered.
 //
 // The suite builds one type-directed callgraph over every loaded
-// package (BuildProgram), then runs four analyzers on it:
+// package (BuildProgram), then runs five analyzers on it:
 //
 //   - rngflow: seeded *rand.Rand streams drawn from goroutine-reachable
 //     code, drawn in map-iteration order, or aliased across packages
@@ -18,6 +18,8 @@
 //   - sharedstate: package-level vars and receiver fields written from
 //     functions reachable from more than one goroutine spawn site
 //     without synchronization.
+//   - poolflow: pool.Free objects used after Put or still retained in
+//     longer-lived state when Put runs.
 //
 // The callgraph is CHA-lite: static call edges resolve through the type
 // checker, interface calls fan out to every module type implementing
@@ -485,6 +487,7 @@ func Analyzers() []*lint.ProgramAnalyzer {
 	return []*lint.ProgramAnalyzer{
 		floatsumAnalyzer(get),
 		hotallocAnalyzer(get),
+		poolflowAnalyzer(get),
 		rngflowAnalyzer(get),
 		sharedstateAnalyzer(get),
 	}

@@ -141,6 +141,14 @@ func checkHotBody(p *Program, n *Node, root string, report func(pos token.Pos, f
 // the static module callees to audit next.
 func checkHotCall(p *Program, n *Node, call *ast.CallExpr, where string, report func(pos token.Pos, format string, args ...any)) []*Node {
 	info := n.Pkg.Info
+	// Freelist traffic is the sanctioned way to "allocate" on the hot
+	// path: Get reuses a pooled object (its new(T) is the one-time refill
+	// miss, amortized away in steady state) and Put recycles one. Neither
+	// the call nor its callee counts against the allocation audit;
+	// poolflow separately polices the object's lifetime.
+	if _, ok := isPoolFreeCall(info, call); ok {
+		return nil
+	}
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		if b, ok := info.Uses[id].(*types.Builtin); ok {
 			switch b.Name() {

@@ -82,7 +82,13 @@ func runSharedstate(p *Program, report func(pos token.Pos, format string, args .
 			case recvObj != nil && v == recvObj:
 				// Receiver field write: hazardous only when the method is
 				// reachable from two distinct spawn sites — one spawned
-				// computation owns its objects.
+				// computation owns its objects. pool.Free's own bookkeeping
+				// writes (items, stats) are exempt: the freelist contract —
+				// one lane, or root barrier context with lanes paused —
+				// already serializes them, and poolflow guards the contract.
+				if isPoolFreeReceiver(node) {
+					continue
+				}
 				_, isBareRecv := w.lhs.(*ast.Ident)
 				if !isBareRecv && len(spawns) >= 2 {
 					report(w.pos, "receiver field %s written in a method reachable from %d distinct goroutine spawn sites without synchronization",
@@ -197,6 +203,29 @@ func mutexCallName(e ast.Expr) (string, bool) {
 		return sel.Sel.Name, true
 	}
 	return "", false
+}
+
+// isPoolFreeReceiver reports whether n is a method on pool.Free (the
+// deterministic freelist), whose single-owner contract substitutes for
+// synchronization.
+func isPoolFreeReceiver(n *Node) bool {
+	if n.Obj == nil {
+		return false
+	}
+	recv := n.Obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Origin().Obj()
+	return obj.Name() == "Free" && obj.Pkg() != nil && obj.Pkg().Name() == "pool"
 }
 
 // receiverObject returns the *types.Var bound to n's method receiver,

@@ -4,7 +4,11 @@
 // trace-guarded blocks, and unannotated functions stay silent.
 package hotalloc
 
-import "errors"
+import (
+	"errors"
+
+	"fixturemod/pool"
+)
 
 // Item is the per-job record the mini engine rebalances.
 type Item struct {
@@ -82,6 +86,23 @@ func Box(x int) {
 //protean:hotpath
 func NoBox(p *Item) {
 	Sink(p) // ok: pointers do not box
+}
+
+// Recycler pairs a hot path with a freelist.
+type Recycler struct {
+	free pool.Free
+}
+
+// Recycle allocates nothing the audit counts: freelist Get/Put is the
+// sanctioned hot-path reuse shape, and Get's internal new/append stays
+// out of the audited callee set.
+//
+//protean:hotpath
+func (r *Recycler) Recycle() int {
+	b := r.free.Get() // ok: freelist reuse, not an allocation
+	n := len(b.B)
+	r.free.Put(b) // ok
+	return n
 }
 
 // ColdSetup is unannotated and unreached from any hot root: it may

@@ -1,0 +1,32 @@
+// Package pool is the fixture stand-in for the module's deterministic
+// freelist: poolflow recognizes Get/Put structurally by the receiver's
+// type name (Free) and package name (pool).
+package pool
+
+// Free is a LIFO freelist of *T.
+type Free[T any] struct {
+	Reset func(*T)
+	items []*T
+}
+
+// Get pops the most recent object or allocates a fresh one.
+func (f *Free[T]) Get() *T {
+	if n := len(f.items); n > 0 {
+		x := f.items[n-1]
+		f.items[n-1] = nil
+		f.items = f.items[:n-1]
+		return x
+	}
+	return new(T)
+}
+
+// Put resets and recycles an object.
+func (f *Free[T]) Put(x *T) {
+	if x == nil {
+		return
+	}
+	if f.Reset != nil {
+		f.Reset(x)
+	}
+	f.items = append(f.items, x)
+}

@@ -4,7 +4,11 @@
 // writes and state private to a single spawn stay silent.
 package sharedstate
 
-import "sync"
+import (
+	"sync"
+
+	"fixturemod/pool"
+)
 
 // hits is package-level state bumped from spawned workers.
 var hits int
@@ -84,6 +88,31 @@ func (w *Worker) loop() {
 	for i := 0; i < 3; i++ {
 		w.steps++ // ok: only one spawn site reaches this receiver
 	}
+}
+
+// Recycler owns a freelist whose methods both of StartLanes' spawns
+// reach: without the pool.Free exemption, the items/hits writes inside
+// Get and Put would be flagged as receiver fields written from two
+// distinct spawn sites. The ownership contract — one lane at a time —
+// is what makes them safe, and poolflow polices that contract.
+type Recycler struct {
+	free pool.Free
+}
+
+// StartLanes spawns two distinct lane workers over one freelist.
+func (r *Recycler) StartLanes() {
+	go r.laneA()
+	go r.laneB()
+}
+
+func (r *Recycler) laneA() {
+	j := r.free.Get()
+	r.free.Put(j)
+}
+
+func (r *Recycler) laneB() {
+	j := r.free.Get()
+	r.free.Put(j)
 }
 
 // Fan captures a local counter in a looped spawn.

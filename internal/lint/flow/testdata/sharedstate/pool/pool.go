@@ -1,0 +1,31 @@
+// Package pool is the fixture freelist: its receiver-field bookkeeping
+// writes are exempt from sharedstate even when its methods are
+// reachable from several spawn sites — the single-owner contract
+// (enforced by poolflow) substitutes for synchronization.
+package pool
+
+// Job is the pooled object.
+type Job struct{ N int }
+
+// Free is a non-generic stand-in for the module's freelist.
+type Free struct {
+	items []*Job
+	hits  int
+}
+
+// Get pops or allocates.
+func (f *Free) Get() *Job {
+	if n := len(f.items); n > 0 {
+		x := f.items[n-1]
+		f.items[n-1] = nil      // ok: freelist bookkeeping, exempt
+		f.items = f.items[:n-1] // ok
+		f.hits++                // ok
+		return x
+	}
+	return new(Job)
+}
+
+// Put recycles.
+func (f *Free) Put(x *Job) {
+	f.items = append(f.items, x) // ok: freelist bookkeeping, exempt
+}

@@ -108,7 +108,7 @@ func Analyzers() []*Analyzer {
 // that load only the per-package analyzers (lint cannot import flow:
 // flow imports lint). flow's tests assert the two lists stay in sync.
 func FlowRules() []string {
-	return []string{"floatsum", "hotalloc", "rngflow", "sharedstate"}
+	return []string{"floatsum", "hotalloc", "poolflow", "rngflow", "sharedstate"}
 }
 
 // pseudoRules are rule names the framework itself reports under; they

@@ -39,11 +39,20 @@ func Goodput(r *Recorder, duration float64) float64 {
 		return 0
 	}
 	good := 0
-	for _, s := range r.samples {
-		if s.Strict && s.Latency > s.SLO {
-			continue
+	if r.sk != nil {
+		// All completed weight minus the strict requests that missed:
+		// the streaming counters hold exactly those two terms.
+		for _, k := range r.skKeys() {
+			a := r.sk.aggs[k]
+			good += a.weight - (a.strictW - a.strictMet)
 		}
-		good += s.Weight
+	} else {
+		r.eachExact(func(s *Sample) {
+			if s.Strict && s.Latency > s.SLO {
+				return
+			}
+			good += s.Weight
+		})
 	}
 	return float64(good) / duration
 }

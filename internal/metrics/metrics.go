@@ -3,6 +3,14 @@
 // latency percentiles and CDFs, tail-latency breakdowns (Figures 2, 6,
 // 11), throughput, and the statistical significance measures of §7
 // (Welch's t-test, Cohen's d, confidence intervals).
+//
+// A Recorder runs in one of two modes. The default exact mode buffers
+// every sample, which keeps goldens, grid cells, and statistical-test
+// inputs byte-identical run to run. Sketch mode (NewSketchRecorder)
+// replaces the sample buffer with O(1)-memory per-(model, tenant,
+// class) aggregates — streaming counters plus a deterministic quantile
+// Sketch — for runs whose request volume would not fit in memory; see
+// DESIGN.md, "Memory model at scale".
 package metrics
 
 import (
@@ -38,9 +46,136 @@ type Sample struct {
 	Weight int
 }
 
-// Recorder accumulates samples. The zero value is ready to use.
+// Recorder accumulates samples. The zero value is an exact-mode
+// recorder, ready to use.
+//
+// Filter and its derivatives (Strict, BestEffort, ForModel, ForTenant)
+// return view recorders sharing the parent's backing: a view costs one
+// index slice, never a sample copy. Views are snapshots — samples added
+// to the parent afterwards are not visible through an existing view —
+// and mutating a view (Add/Merge) first materialises a private copy so
+// the parent is never perturbed.
 type Recorder struct {
 	samples []Sample
+	// view, when non-nil, restricts the recorder to these positions of
+	// samples (a filtered view over a parent's backing).
+	view []int
+	// shared marks the samples backing as shared with another recorder
+	// (a parent or its views); mutation must copy first.
+	shared bool
+	// weightSum caches the total weighted request count.
+	weightSum int
+
+	// byLat caches the latency-sorted sample positions for the quantile
+	// path; valid only while sortedOK. Add/Merge invalidate it, so
+	// report generation re-sorts once instead of once per quantile.
+	byLat    []int
+	sortedOK bool
+
+	// sk switches the recorder into sketch mode (non-nil). skSel, when
+	// additionally non-nil, restricts a sketch-mode view to a key
+	// subset.
+	sk    *sketchRec
+	skSel []sketchKey
+}
+
+// sketchKey identifies one sketch-mode aggregate.
+type sketchKey struct {
+	model  string
+	tenant string
+	strict bool
+}
+
+// sketchAgg is the O(1)-memory replacement for one key's samples.
+type sketchAgg struct {
+	sk Sketch
+	// n and weight count samples and weighted requests.
+	n, weight int
+	// latSum accumulates Latency·Weight for the mean.
+	latSum float64
+	// attTotal/attMet count weighted samples with a latency target
+	// (SLO > 0) and those meeting it.
+	attTotal, attMet int
+	// strictW/strictMet count weighted strict samples and those with
+	// Latency <= SLO.
+	strictW, strictMet int
+}
+
+// sketchRec is the shared state of a sketch-mode recorder and its views.
+type sketchRec struct {
+	aggs  map[sketchKey]*sketchAgg
+	keys  []sketchKey // sorted key cache
+	dirty bool
+}
+
+func (s *sketchRec) agg(k sketchKey) *sketchAgg {
+	a, ok := s.aggs[k]
+	if !ok {
+		a = &sketchAgg{}
+		s.aggs[k] = a
+		s.dirty = true
+	}
+	return a
+}
+
+// sortedKeys returns every aggregate key in a fixed (model, tenant,
+// strict) order, so iteration — including float summation — is
+// deterministic.
+func (s *sketchRec) sortedKeys() []sketchKey {
+	if s.dirty || s.keys == nil {
+		s.keys = s.keys[:0]
+		for k := range s.aggs {
+			s.keys = append(s.keys, k)
+		}
+		sort.Slice(s.keys, func(i, j int) bool {
+			a, b := s.keys[i], s.keys[j]
+			if a.model != b.model {
+				return a.model < b.model
+			}
+			if a.tenant != b.tenant {
+				return a.tenant < b.tenant
+			}
+			return a.strict && !b.strict
+		})
+		s.dirty = false
+	}
+	return s.keys
+}
+
+// NewSketchRecorder returns a recorder in sketch mode: per-(model,
+// tenant, class) streaming aggregates instead of a sample buffer.
+// Quantiles come from a deterministic Sketch with relative error at
+// most SketchAlpha; means, SLO compliance, attainment and request
+// counts are exact. Per-sample state is not retained, so
+// BreakdownAtPercentile returns a zero breakdown, Latencies returns
+// nil, and Filter predicates see one representative sample per
+// aggregate (Model, Tenant, Strict and SLO populated — enough for
+// every class/model/tenant filter; Completed-based horizon filters
+// keep everything).
+func NewSketchRecorder() *Recorder {
+	return &Recorder{sk: &sketchRec{aggs: make(map[sketchKey]*sketchAgg)}}
+}
+
+// Sketching reports whether the recorder is in sketch mode.
+func (r *Recorder) Sketching() bool { return r.sk != nil }
+
+// materialize gives a view or shared recorder its own private backing
+// (exact mode only), so a mutation never touches a parent's samples.
+func (r *Recorder) materialize() {
+	if !r.shared && r.view == nil {
+		return
+	}
+	own := make([]Sample, 0, r.exactLen())
+	r.weightSum = 0
+	r.eachExact(func(s *Sample) {
+		own = append(own, *s)
+		r.weightSum += s.Weight
+	})
+	r.samples = own
+	r.view = nil
+	r.shared = false
+	r.sortedOK = false
+	r.byLat = nil
 }
 
 // Add records a sample. Zero weights are normalized to 1.
@@ -48,32 +183,195 @@ func (r *Recorder) Add(s Sample) {
 	if s.Weight <= 0 {
 		s.Weight = 1
 	}
+	if r.sk != nil {
+		if r.skSel != nil {
+			panic("metrics: Add on a sketch-mode view recorder")
+		}
+		r.addSketch(s)
+		return
+	}
+	r.materialize()
 	r.samples = append(r.samples, s)
+	r.weightSum += s.Weight
+	r.sortedOK = false
 }
 
-// Merge folds another recorder's samples into r.
+func (r *Recorder) addSketch(s Sample) {
+	a := r.sk.agg(sketchKey{model: s.Model, tenant: s.Tenant, strict: s.Strict})
+	a.sk.Add(s.Latency, s.Weight)
+	a.n++
+	a.weight += s.Weight
+	a.latSum += s.Latency * float64(s.Weight)
+	if s.SLO > 0 {
+		a.attTotal += s.Weight
+		if s.Latency <= s.SLO {
+			a.attMet += s.Weight
+		}
+	}
+	if s.Strict {
+		a.strictW += s.Weight
+		if s.Latency <= s.SLO {
+			a.strictMet += s.Weight
+		}
+	}
+	r.weightSum += s.Weight
+}
+
+// Merge folds another recorder's samples into r. Merging a sketch-mode
+// recorder into an exact one (or vice versa) converts sample-by-sample
+// where possible; sketch→exact is impossible (the samples are gone) and
+// panics.
 func (r *Recorder) Merge(other *Recorder) {
-	r.samples = append(r.samples, other.samples...)
+	if other == nil {
+		return
+	}
+	if r.sk != nil {
+		if r.skSel != nil {
+			panic("metrics: Merge on a sketch-mode view recorder")
+		}
+		if other.sk == nil {
+			other.eachExact(func(s *Sample) { r.addSketch(*s) })
+			return
+		}
+		for _, k := range other.sk.sortedKeys() {
+			if !other.selected(k) {
+				continue
+			}
+			oa := other.sk.aggs[k]
+			a := r.sk.agg(k)
+			a.sk.Merge(&oa.sk)
+			a.n += oa.n
+			a.weight += oa.weight
+			a.latSum += oa.latSum
+			a.attTotal += oa.attTotal
+			a.attMet += oa.attMet
+			a.strictW += oa.strictW
+			a.strictMet += oa.strictMet
+			r.weightSum += oa.weight
+		}
+		return
+	}
+	if other.sk != nil {
+		panic("metrics: cannot merge a sketch-mode recorder into an exact recorder")
+	}
+	r.materialize()
+	other.eachExact(func(s *Sample) {
+		r.samples = append(r.samples, *s)
+		r.weightSum += s.Weight
+	})
+	r.sortedOK = false
+}
+
+// exactLen is the number of samples visible through this recorder.
+func (r *Recorder) exactLen() int {
+	if r.view != nil {
+		return len(r.view)
+	}
+	return len(r.samples)
+}
+
+// eachExact visits the recorder's samples in order (exact mode).
+func (r *Recorder) eachExact(fn func(*Sample)) {
+	if r.view != nil {
+		for _, i := range r.view {
+			fn(&r.samples[i])
+		}
+		return
+	}
+	for i := range r.samples {
+		fn(&r.samples[i])
+	}
+}
+
+// selected reports whether a sketch key is visible through this
+// recorder (views carry a key subset).
+func (r *Recorder) selected(k sketchKey) bool {
+	if r.skSel == nil {
+		return true
+	}
+	for _, s := range r.skSel {
+		if s == k {
+			return true
+		}
+	}
+	return false
+}
+
+// skKeys returns the sketch keys visible through this recorder, sorted.
+func (r *Recorder) skKeys() []sketchKey {
+	if r.skSel != nil {
+		return r.skSel
+	}
+	return r.sk.sortedKeys()
 }
 
 // Len returns the number of samples (not weighted).
-func (r *Recorder) Len() int { return len(r.samples) }
+func (r *Recorder) Len() int {
+	if r.sk != nil {
+		n := 0
+		for _, k := range r.skKeys() {
+			n += r.sk.aggs[k].n
+		}
+		return n
+	}
+	return r.exactLen()
+}
 
 // Requests returns the total weighted request count.
 func (r *Recorder) Requests() int {
-	n := 0
-	for _, s := range r.samples {
-		n += s.Weight
+	if r.sk != nil {
+		n := 0
+		for _, k := range r.skKeys() {
+			n += r.sk.aggs[k].weight
+		}
+		return n
 	}
+	if r.view == nil {
+		return r.weightSum
+	}
+	n := 0
+	r.eachExact(func(s *Sample) { n += s.Weight })
 	return n
 }
 
-// Filter returns a new recorder holding samples matching pred.
+// representative builds the stand-in sample sketch-mode Filter
+// predicates evaluate: identity fields are populated, per-sample
+// measurements are zero.
+func representative(k sketchKey, a *sketchAgg) Sample {
+	s := Sample{Model: k.model, Tenant: k.tenant, Strict: k.strict, Weight: a.weight}
+	if a.attTotal > 0 {
+		s.SLO = 1 // flag "has a latency target" for SLO > 0 predicates
+	}
+	return s
+}
+
+// Filter returns a recorder holding samples matching pred. In exact
+// mode this is a view over the same backing (no sample copies); in
+// sketch mode the predicate selects whole aggregates via one
+// representative sample each.
 func (r *Recorder) Filter(pred func(Sample) bool) *Recorder {
-	out := &Recorder{}
-	for _, s := range r.samples {
-		if pred(s) {
-			out.samples = append(out.samples, s)
+	if r.sk != nil {
+		sel := make([]sketchKey, 0, len(r.skKeys()))
+		for _, k := range r.skKeys() {
+			if pred(representative(k, r.sk.aggs[k])) {
+				sel = append(sel, k)
+			}
+		}
+		return &Recorder{sk: r.sk, skSel: sel}
+	}
+	out := &Recorder{samples: r.samples, shared: true, view: []int{}}
+	r.shared = true
+	if r.view != nil {
+		for _, i := range r.view {
+			if pred(r.samples[i]) {
+				out.view = append(out.view, i)
+			}
+		}
+		return out
+	}
+	for i := range r.samples {
+		if pred(r.samples[i]) {
+			out.view = append(out.view, i)
 		}
 	}
 	return out
@@ -107,14 +405,22 @@ func (r *Recorder) ForTenant(id string) *Recorder {
 // target.
 func (r *Recorder) Attainment() float64 {
 	total, met := 0, 0
-	for _, s := range r.samples {
-		if s.SLO <= 0 {
-			continue
+	if r.sk != nil {
+		for _, k := range r.skKeys() {
+			a := r.sk.aggs[k]
+			total += a.attTotal
+			met += a.attMet
 		}
-		total += s.Weight
-		if s.Latency <= s.SLO {
-			met += s.Weight
-		}
+	} else {
+		r.eachExact(func(s *Sample) {
+			if s.SLO <= 0 {
+				return
+			}
+			total += s.Weight
+			if s.Latency <= s.SLO {
+				met += s.Weight
+			}
+		})
 	}
 	if total == 0 {
 		return math.NaN()
@@ -126,14 +432,22 @@ func (r *Recorder) Attainment() float64 {
 // their SLO. It returns NaN when there are no strict samples.
 func (r *Recorder) SLOCompliance() float64 {
 	total, met := 0, 0
-	for _, s := range r.samples {
-		if !s.Strict {
-			continue
+	if r.sk != nil {
+		for _, k := range r.skKeys() {
+			a := r.sk.aggs[k]
+			total += a.strictW
+			met += a.strictMet
 		}
-		total += s.Weight
-		if s.Latency <= s.SLO {
-			met += s.Weight
-		}
+	} else {
+		r.eachExact(func(s *Sample) {
+			if !s.Strict {
+				return
+			}
+			total += s.Weight
+			if s.Latency <= s.SLO {
+				met += s.Weight
+			}
+		})
 	}
 	if total == 0 {
 		return math.NaN()
@@ -141,12 +455,22 @@ func (r *Recorder) SLOCompliance() float64 {
 	return float64(met) / float64(total)
 }
 
-// Mean returns the weighted mean latency (NaN when empty).
+// Mean returns the weighted mean latency (NaN when empty). In sketch
+// mode the mean is exact: per-aggregate sums accumulate in arrival
+// order and merge in the fixed sorted key order.
 func (r *Recorder) Mean() float64 {
 	sum, n := 0.0, 0
-	for _, s := range r.samples {
-		sum += s.Latency * float64(s.Weight)
-		n += s.Weight
+	if r.sk != nil {
+		for _, k := range r.skKeys() {
+			a := r.sk.aggs[k]
+			sum += a.latSum
+			n += a.weight
+		}
+	} else {
+		r.eachExact(func(s *Sample) {
+			sum += s.Latency * float64(s.Weight)
+			n += s.Weight
+		})
 	}
 	if n == 0 {
 		return math.NaN()
@@ -154,20 +478,46 @@ func (r *Recorder) Mean() float64 {
 	return sum / float64(n)
 }
 
-// sortedByLatency returns sample indices ordered by latency.
+// sortedByLatency returns sample positions ordered by latency, cached
+// behind a dirty flag: report generation asks for many quantiles over
+// the same frozen recorder, and re-sorting per quantile made the
+// report path O(n log n) per call.
 func (r *Recorder) sortedByLatency() []int {
-	idx := make([]int, len(r.samples))
-	for i := range idx {
-		idx[i] = i
+	if r.sortedOK {
+		return r.byLat
 	}
-	sort.Slice(idx, func(a, b int) bool { return r.samples[idx[a]].Latency < r.samples[idx[b]].Latency })
+	idx := make([]int, 0, r.exactLen())
+	if r.view != nil {
+		idx = append(idx, r.view...)
+	} else {
+		for i := range r.samples {
+			idx = append(idx, i)
+		}
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return r.samples[idx[a]].Latency < r.samples[idx[b]].Latency })
+	r.byLat = idx
+	r.sortedOK = true
 	return idx
+}
+
+// mergedSketch folds the visible aggregates' sketches into one (sketch
+// mode). Bucket counts are integers, so the merge order cannot matter.
+func (r *Recorder) mergedSketch() *Sketch {
+	keys := r.skKeys()
+	if len(keys) == 1 {
+		return &r.sk.aggs[keys[0]].sk
+	}
+	merged := &Sketch{}
+	for _, k := range keys {
+		merged.Merge(&r.sk.aggs[k].sk)
+	}
+	return merged
 }
 
 // sampleAtPercentile returns the weighted p-th percentile sample
 // (0 < p <= 100), or nil when the recorder is empty.
 func (r *Recorder) sampleAtPercentile(p float64) *Sample {
-	if len(r.samples) == 0 {
+	if r.exactLen() == 0 {
 		return nil
 	}
 	idx := r.sortedByLatency()
@@ -184,8 +534,13 @@ func (r *Recorder) sampleAtPercentile(p float64) *Sample {
 }
 
 // Percentile returns the weighted p-th percentile latency (NaN when
-// empty). P99 tail latency is Percentile(99).
+// empty). P99 tail latency is Percentile(99). In sketch mode the value
+// is the deterministic sketch estimate, within SketchAlpha relative
+// error of the exact weighted percentile.
 func (r *Recorder) Percentile(p float64) float64 {
+	if r.sk != nil {
+		return r.mergedSketch().Quantile(p)
+	}
 	s := r.sampleAtPercentile(p)
 	if s == nil {
 		return math.NaN()
@@ -195,8 +550,12 @@ func (r *Recorder) Percentile(p float64) float64 {
 
 // BreakdownAtPercentile returns the latency decomposition of the sample
 // sitting at the weighted p-th percentile — how the paper plots "P99
-// latency breakdown".
+// latency breakdown". Sketch-mode recorders retain no per-sample
+// breakdowns and return the zero decomposition.
 func (r *Recorder) BreakdownAtPercentile(p float64) gpu.Breakdown {
+	if r.sk != nil {
+		return gpu.Breakdown{}
+	}
 	s := r.sampleAtPercentile(p)
 	if s == nil {
 		return gpu.Breakdown{}
@@ -215,7 +574,7 @@ type CDFPoint struct {
 // CDF returns the empirical weighted CDF sampled at up to points evenly
 // spaced quantiles.
 func (r *Recorder) CDF(points int) []CDFPoint {
-	if points <= 0 || len(r.samples) == 0 {
+	if points <= 0 || r.Len() == 0 {
 		return nil
 	}
 	out := make([]CDFPoint, 0, points)
@@ -226,19 +585,22 @@ func (r *Recorder) CDF(points int) []CDFPoint {
 	return out
 }
 
-// Latencies returns the raw weighted-expanded latency list, capped at
-// maxN values (uniformly strided) to bound memory. Used by the
-// statistical tests.
+// Latencies returns the raw latency list, one value per sample. Used by
+// the statistical tests. Sketch-mode recorders retain no raw values and
+// return nil.
 func (r *Recorder) Latencies() []float64 {
-	out := make([]float64, 0, len(r.samples))
-	for _, s := range r.samples {
-		out = append(out, s.Latency)
+	if r.sk != nil {
+		return nil
 	}
+	out := make([]float64, 0, r.exactLen())
+	r.eachExact(func(s *Sample) { out = append(out, s.Latency) })
 	return out
 }
 
 // completedWithin restricts to requests that finished by the horizon
 // (excluding the post-trace drain). A zero horizon keeps everything.
+// Sketch-mode recorders retain no completion times; the view keeps
+// every aggregate (throughput then includes drain-completed work).
 func (r *Recorder) completedWithin(horizon float64) *Recorder {
 	if horizon <= 0 {
 		return r
@@ -321,8 +683,12 @@ type ModelStats struct {
 // headline.
 func (r *Recorder) Snapshot() []ModelStats {
 	names := make(map[string]bool)
-	for _, s := range r.samples {
-		names[s.Model] = true
+	if r.sk != nil {
+		for _, k := range r.skKeys() {
+			names[k.model] = true
+		}
+	} else {
+		r.eachExact(func(s *Sample) { names[s.Model] = true })
 	}
 	sorted := make([]string, 0, len(names))
 	for name := range names {

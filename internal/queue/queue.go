@@ -11,6 +11,7 @@ import (
 
 	"protean/internal/model"
 	"protean/internal/obs"
+	"protean/internal/pool"
 	"protean/internal/sim"
 	"protean/internal/trace"
 )
@@ -56,6 +57,12 @@ func (b *Batch) String() string {
 // Batcher accumulates requests into batches of the model's batch size,
 // sealing a partial batch when the batching window expires so requests
 // never wait unboundedly.
+//
+// Sealed batches, partial-batch shells, and request buffers are
+// recycled through deterministic freelists: callers hand finished
+// batches back via Release, and steady-state batching allocates
+// nothing per batch. All Batcher methods — including Release — must run
+// in the batcher's lane (or root barrier) context.
 type Batcher struct {
 	sim    *sim.Sim
 	window float64
@@ -63,6 +70,12 @@ type Batcher struct {
 
 	pending map[batchKey]*partialBatch
 	nextID  uint64
+
+	batchFree pool.Free[Batch]
+	pbFree    pool.Free[partialBatch]
+	// reqFree recycles request-buffer capacity from released batches
+	// into new partial batches.
+	reqFree [][]trace.Request
 }
 
 type batchKey struct {
@@ -93,12 +106,38 @@ func NewBatcher(s *sim.Sim, window float64, emit func(*Batch)) (*Batcher, error)
 	if emit == nil {
 		return nil, errors.New("queue: nil emit func")
 	}
-	return &Batcher{
+	b := &Batcher{
 		sim:     s,
 		window:  window,
 		emit:    emit,
 		pending: make(map[batchKey]*partialBatch),
-	}, nil
+	}
+	b.batchFree.Reset = func(x *Batch) { *x = Batch{} }
+	b.pbFree.Reset = func(x *partialBatch) { *x = partialBatch{} }
+	return b, nil
+}
+
+// Release returns a finished batch to the freelist. The caller must be
+// completely done with the batch AND its Requests slice: both may be
+// handed to an unrelated batch on the next seal. Call only from the
+// batcher's lane or from root barrier context.
+func (b *Batcher) Release(batch *Batch) {
+	if batch == nil {
+		return
+	}
+	if cap(batch.Requests) > 0 {
+		b.reqFree = append(b.reqFree, batch.Requests[:0])
+		batch.Requests = nil
+	}
+	b.batchFree.Put(batch)
+}
+
+// PoolStats aggregates the batcher's freelist counters (batch and
+// partial-batch shells).
+func (b *Batcher) PoolStats() pool.Stats {
+	st := b.batchFree.Stats()
+	st.Add(b.pbFree.Stats())
+	return st
 }
 
 // Add folds one request into its batch, sealing the batch when full.
@@ -110,7 +149,15 @@ func (b *Batcher) Add(req trace.Request) error {
 	pb, ok := b.pending[key]
 	if !ok {
 		b.nextID++
-		pb = &partialBatch{id: b.nextID, model: req.Model, strict: req.Strict}
+		pb = b.pbFree.Get()
+		pb.id = b.nextID
+		pb.model = req.Model
+		pb.strict = req.Strict
+		if n := len(b.reqFree); n > 0 && pb.requests == nil {
+			pb.requests = b.reqFree[n-1]
+			b.reqFree[n-1] = nil
+			b.reqFree = b.reqFree[:n-1]
+		}
 		b.pending[key] = pb
 		key := key
 		pb.timer = b.sim.MustAfter(b.window, func() { b.seal(key) })
@@ -165,13 +212,15 @@ func (b *Batcher) seal(key batchKey) {
 	}
 	delete(b.pending, key)
 	pb.timer.Cancel()
-	batch := &Batch{
-		ID:       pb.id,
-		Model:    pb.model,
-		Strict:   pb.strict,
-		Requests: pb.requests,
-		Sealed:   b.sim.Now(),
-	}
+	batch := b.batchFree.Get()
+	batch.ID = pb.id
+	batch.Model = pb.model
+	batch.Strict = pb.strict
+	batch.Requests = pb.requests
+	batch.Sealed = b.sim.Now()
+	// The request buffer moved into the batch; recycle the shell.
+	pb.requests = nil
+	b.pbFree.Put(pb)
 	if tr := b.sim.Tracer(); tr.Enabled() {
 		ev := obs.At(batch.Sealed, obs.KindBatchSeal)
 		ev.Batch = batch.ID

@@ -109,6 +109,51 @@ func FuzzGenerate(f *testing.F) {
 				t.Fatalf("replay diverges at request %d", i)
 			}
 		}
+
+		// Stream equivalence: the pull-based generator yields the
+		// byte-identical sequence (IDs, models, arrivals), including a
+		// stop at an arbitrary mid-stream point and a later resume.
+		st, err := NewStream(Config{
+			Rate:     rate,
+			Mix:      Mix{StrictFrac: strictFrac, Strict: strict, BEPool: pool},
+			Duration: dur,
+			Seed:     seed,
+		})
+		if err != nil {
+			t.Fatalf("NewStream: %v", err)
+		}
+		pause := len(reqs) / 3
+		for i := range reqs {
+			if i == pause {
+				// Mid-stream stop/resume: state is self-contained, so an
+				// unrelated stream advancing in between must not perturb
+				// the remainder of the sequence.
+				o, err := NewStream(Config{
+					Rate:     Constant(50),
+					Mix:      Mix{StrictFrac: strictFrac, Strict: strict, BEPool: pool},
+					Duration: 5,
+					Seed:     seed + 1,
+				})
+				if err != nil {
+					t.Fatalf("NewStream (interleaved): %v", err)
+				}
+				for {
+					if _, ok := o.Next(); !ok {
+						break
+					}
+				}
+			}
+			got, ok := st.Next()
+			if !ok {
+				t.Fatalf("stream ended at request %d, Generate produced %d", i, len(reqs))
+			}
+			if got != reqs[i] {
+				t.Fatalf("stream diverges from Generate at request %d: %+v != %+v", i, got, reqs[i])
+			}
+		}
+		if _, ok := st.Next(); ok {
+			t.Fatalf("stream yielded a request past the Generate horizon")
+		}
 	})
 }
 

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"protean/internal/model"
+)
+
+// erraticScanReference replicates the pre-index Erratic evaluation: the
+// identical spike draws followed by a linear scan over every spike per
+// call. The interval index must reproduce its values bitwise.
+func erraticScanReference(mean, peakToMean, duration float64, seed int64) RateFn {
+	rng := rand.New(rand.NewSource(seed))
+	type spike struct{ start, dur, factor float64 }
+	nSpikes := int(math.Max(1, duration/30))
+	spikes := make([]spike, 0, nSpikes)
+	for i := 0; i < nSpikes; i++ {
+		spikes = append(spikes, spike{
+			start:  rng.Float64() * duration,
+			dur:    2 + rng.Float64()*6,
+			factor: 1 + (peakToMean-1)*(0.6+0.4*rng.Float64()),
+		})
+	}
+	spikeTime := 0.0
+	spikeWeight := 0.0
+	for _, sp := range spikes {
+		spikeTime += sp.dur
+		spikeWeight += sp.dur * sp.factor
+	}
+	denom := (duration - spikeTime) + spikeWeight
+	base := mean
+	if denom > 0 {
+		base = mean * duration / denom
+	}
+	return func(t float64) float64 {
+		v := base
+		for _, sp := range spikes {
+			if t >= sp.start && t < sp.start+sp.dur {
+				v = math.Max(v, base*sp.factor)
+			}
+		}
+		return v
+	}
+}
+
+// TestErraticIndexMatchesScan pins the interval-index Erratic against
+// the linear-scan reference: identical RateFn values, bit for bit, on a
+// dense grid and at the exact spike boundaries, across seeds and
+// durations including a multi-day horizon.
+func TestErraticIndexMatchesScan(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		for _, duration := range []float64{60, 3600, 172800} {
+			got := Erratic(1, DefaultTwitterPeakToMean, duration, seed)
+			want := erraticScanReference(1, DefaultTwitterPeakToMean, duration, seed)
+			const grid = 20000
+			for i := 0; i <= grid; i++ {
+				x := duration * float64(i) / grid
+				g, w := got(x), want(x)
+				if g != w {
+					t.Fatalf("seed %d dur %v: rate(%v) = %v, scan reference %v", seed, duration, x, g, w)
+				}
+			}
+			// Exact boundary instants: re-draw the spikes and probe each
+			// start and end, where the half-open interval semantics bite.
+			rng := rand.New(rand.NewSource(seed))
+			n := int(math.Max(1, duration/30))
+			for i := 0; i < n; i++ {
+				start := rng.Float64() * duration
+				dur := 2 + rng.Float64()*6
+				rng.Float64() // factor draw
+				for _, x := range []float64{start, start + dur, math.Nextafter(start, 0), math.Nextafter(start+dur, duration)} {
+					if g, w := got(x), want(x); g != w {
+						t.Fatalf("seed %d dur %v: boundary rate(%v) = %v, scan reference %v", seed, duration, x, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestErraticIndexBelowOneFactor covers peakToMean < 1: surge factors
+// below 1 must leave the base rate untouched, as the scan's max did.
+func TestErraticIndexBelowOneFactor(t *testing.T) {
+	got := Erratic(5, 0.5, 300, 3)
+	want := erraticScanReference(5, 0.5, 300, 3)
+	for i := 0; i <= 3000; i++ {
+		x := 300 * float64(i) / 3000
+		if g, w := got(x), want(x); g != w {
+			t.Fatalf("rate(%v) = %v, scan reference %v", x, g, w)
+		}
+	}
+}
+
+// TestStreamMatchesGenerate asserts the pull-based Stream yields the
+// byte-identical request sequence as Generate for the same seed,
+// including when consumption stops mid-stream and resumes later.
+func TestStreamMatchesGenerate(t *testing.T) {
+	strict := model.MustByName("ResNet 50")
+	pool := []*model.Model{model.MustByName("BERT"), model.MustByName("GPT-2")}
+	for _, seed := range []int64{1, 9, -3} {
+		cfg := Config{
+			Rate:     Diurnal(800, 1.3, 60),
+			Mix:      Mix{StrictFrac: 0.5, Strict: strict, BEPool: pool},
+			Duration: 60,
+			Seed:     seed,
+		}
+		reqs, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		st, err := NewStream(cfg)
+		if err != nil {
+			t.Fatalf("NewStream: %v", err)
+		}
+		// Consume a prefix, pause (interleave an unrelated stream to
+		// prove state is self-contained), then resume to exhaustion.
+		half := len(reqs) / 2
+		for i := 0; i < half; i++ {
+			got, ok := st.Next()
+			if !ok {
+				t.Fatalf("seed %d: stream ended at %d, want %d requests", seed, i, len(reqs))
+			}
+			if got != reqs[i] {
+				t.Fatalf("seed %d: stream request %d = %+v, Generate %+v", seed, i, got, reqs[i])
+			}
+		}
+		if got := st.Emitted(); got != uint64(half) {
+			t.Fatalf("seed %d: Emitted() = %d after %d pulls", seed, got, half)
+		}
+		other, err := NewStream(Config{Rate: Constant(100), Mix: cfg.Mix, Duration: 10, Seed: seed + 1})
+		if err != nil {
+			t.Fatalf("NewStream (interleaved): %v", err)
+		}
+		for i := 0; i < 50; i++ {
+			other.Next()
+		}
+		for i := half; i < len(reqs); i++ {
+			got, ok := st.Next()
+			if !ok {
+				t.Fatalf("seed %d: stream ended at %d, want %d requests", seed, i, len(reqs))
+			}
+			if got != reqs[i] {
+				t.Fatalf("seed %d: resumed stream request %d = %+v, Generate %+v", seed, i, got, reqs[i])
+			}
+		}
+		if _, ok := st.Next(); ok {
+			t.Fatalf("seed %d: stream yielded a request past the Generate horizon", seed)
+		}
+		if _, ok := st.Next(); ok {
+			t.Fatalf("seed %d: exhausted stream restarted", seed)
+		}
+	}
+}

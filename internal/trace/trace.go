@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"protean/internal/model"
 )
@@ -60,6 +61,16 @@ const DefaultTwitterPeakToMean = 4561.0 / 2969.0
 // Erratic returns a Twitter-like bursty rate: a base load with randomly
 // placed surges reaching peakToMean × mean. Spike placement is
 // deterministic in seed.
+//
+// Rate evaluation is O(log nSpikes): the spikes are swept once into a
+// sorted interval index of piecewise-constant surge factors, and each
+// call binary-searches the segment containing t. A multi-day trace has
+// thousands of spikes and the rate function is evaluated per candidate
+// arrival, so the naive per-call scan dominated streaming generation.
+// The returned values are bitwise identical to the scan: within a
+// segment the rate is base × max(1, max active factor), and for a
+// positive base the product of the maximum equals the maximum of the
+// products.
 func Erratic(mean, peakToMean, duration float64, seed int64) RateFn {
 	rng := rand.New(rand.NewSource(seed))
 	type spike struct{ start, dur, factor float64 }
@@ -86,14 +97,55 @@ func Erratic(mean, peakToMean, duration float64, seed int64) RateFn {
 	if denom > 0 {
 		base = mean * duration / denom
 	}
-	return func(t float64) float64 {
+
+	// Sweep the spike intervals into sorted segments. A spike is active
+	// on [start, start+dur), so segment boundaries are exactly the spike
+	// starts and ends; between consecutive boundaries the active set —
+	// and therefore the max factor — is constant.
+	type edge struct {
+		at    float64
+		open  bool
+		spike int
+	}
+	edges := make([]edge, 0, 2*len(spikes))
+	for i, sp := range spikes {
+		edges = append(edges, edge{at: sp.start, open: true, spike: i})
+		edges = append(edges, edge{at: sp.start + sp.dur, open: false, spike: i})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].at < edges[j].at })
+	segStart := []float64{math.Inf(-1)}
+	segRate := []float64{base}
+	active := make(map[int]bool, len(spikes))
+	for i := 0; i < len(edges); {
+		at := edges[i].at
+		//lint:ignore floateq grouping bitwise-equal boundaries; a near-tie split into two segments yields the same rate function
+		for i < len(edges) && edges[i].at == at {
+			if edges[i].open {
+				active[edges[i].spike] = true
+			} else {
+				delete(active, edges[i].spike)
+			}
+			i++
+		}
+		// v = base, then max with base*factor per active spike — the
+		// identical accumulation the per-call scan performed, so the
+		// segment rate is bitwise what the scan would have produced.
 		v := base
-		for _, sp := range spikes {
-			if t >= sp.start && t < sp.start+sp.dur {
-				v = math.Max(v, base*sp.factor)
+		for j := range spikes {
+			if active[j] {
+				v = math.Max(v, base*spikes[j].factor)
 			}
 		}
-		return v
+		segStart = append(segStart, at)
+		segRate = append(segRate, v)
+	}
+	return func(t float64) float64 {
+		// Last segment starting at or before t.
+		i := sort.SearchFloat64s(segStart, t)
+		if i == len(segStart) || segStart[i] > t {
+			i--
+		}
+		return segRate[i]
 	}
 }
 
@@ -138,65 +190,22 @@ type Config struct {
 }
 
 // Generate samples the arrival process and returns requests sorted by
-// arrival time.
+// arrival time. It is a thin collect-all wrapper over Stream: draining
+// a fresh NewStream(cfg) yields the identical sequence one request at
+// a time without materialising the slice.
 func Generate(cfg Config) ([]Request, error) {
-	if cfg.Rate == nil {
-		return nil, errors.New("trace: nil rate function")
-	}
-	if cfg.Duration <= 0 {
-		return nil, fmt.Errorf("trace: duration %v must be positive", cfg.Duration)
-	}
-	if err := cfg.Mix.Validate(); err != nil {
+	st, err := NewStream(cfg)
+	if err != nil {
 		return nil, err
 	}
-	rotate := cfg.Mix.RotatePeriod
-	if rotate <= 0 {
-		rotate = 20
-	}
-
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	// Pre-draw the BE rotation schedule so model choice does not perturb
-	// arrival sampling.
-	nSlots := int(cfg.Duration/rotate) + 1
-	beSchedule := make([]*model.Model, nSlots)
-	for i := range beSchedule {
-		if len(cfg.Mix.BEPool) > 0 {
-			beSchedule[i] = cfg.Mix.BEPool[rng.Intn(len(cfg.Mix.BEPool))]
-		} else {
-			beSchedule[i] = cfg.Mix.Strict
-		}
-	}
-
-	rateMax := peakRate(cfg.Rate, cfg.Duration)
-	if rateMax <= 0 {
-		return nil, errors.New("trace: rate function is zero everywhere")
-	}
-
 	var out []Request
-	var id uint64
-	t := 0.0
 	for {
-		// Thinning: candidate arrivals at the envelope rate.
-		t += rng.ExpFloat64() / rateMax
-		if t >= cfg.Duration {
-			break
+		req, ok := st.Next()
+		if !ok {
+			return out, nil
 		}
-		if rng.Float64()*rateMax > cfg.Rate(t) {
-			continue
-		}
-		strict := rng.Float64() < cfg.Mix.StrictFrac
-		m := cfg.Mix.Strict
-		if !strict {
-			slot := int(t / rotate)
-			if slot >= len(beSchedule) {
-				slot = len(beSchedule) - 1
-			}
-			m = beSchedule[slot]
-		}
-		out = append(out, Request{ID: id, Model: m, Strict: strict, Arrival: t})
-		id++
+		out = append(out, req)
 	}
-	return out, nil
 }
 
 // peakRate estimates the maximum of fn over [0, duration] on a fine grid.
