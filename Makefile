@@ -41,7 +41,10 @@ race:
 # -shards level; the shards=4 / shards=1 ratio is the sharding speedup,
 # ~1.0 on a single-CPU runner), then the million-user scale cells into
 # BENCH_PR9.json (events/sec and peak-heap-MB per scale; the 100x cell
-# fails outright above the pinned heap ceiling).
+# fails outright above the pinned heap ceiling), then the marketplace
+# price-tick hot path into BENCH_PR10.json (ns per tick across the
+# 3-provider catalog with bound leases; the tick must stay
+# allocation-free).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -skip 'BenchmarkShardedScenario|BenchmarkScaleCell' \
 		./internal/gpu ./internal/sim ./internal/experiments \
@@ -55,6 +58,10 @@ bench:
 		./internal/experiments \
 		| $(GO) run ./cmd/protean-benchjson -o BENCH_PR9.json
 	@echo wrote BENCH_PR9.json
+	$(GO) test -run '^$$' -bench BenchmarkMarketTick -benchmem \
+		./internal/market \
+		| $(GO) run ./cmd/protean-benchjson -o BENCH_PR10.json
+	@echo wrote BENCH_PR10.json
 
 # Smoke-run a pair of cheap experiments through the parallel scenario
 # runner; CI uses this to catch runner regressions end to end.

@@ -178,6 +178,7 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /v1/plane/drain", "plane-drain", s.handlePlaneDrain)
 	handle("GET /v1/plane/log", "plane-log", s.handlePlaneLog)
 	handle("GET /v1/plane/trace", "plane-trace", s.handlePlaneTrace)
+	handle("GET /v1/market/prices", "market-prices", s.handleMarketPrices)
 	handle("POST /v1/tenants", "tenant-create", s.handleTenantCreate)
 	handle("GET /v1/tenants", "tenant-list", s.handleTenantList)
 	handle("GET /v1/tenants/{id}/usage", "tenant-usage", s.handleTenantUsage)

@@ -6,6 +6,7 @@
 //	POST /v1/plane/drain              freeze, drain, final summary
 //	GET  /v1/plane/log                ingest log (NDJSON, replayable)
 //	GET  /v1/plane/trace[?kind=...]   lifecycle events (NDJSON)
+//	GET  /v1/market/prices            marketplace quotes (market planes)
 //	POST /v1/tenants                  register a tenant
 //	GET  /v1/tenants                  all tenants' usage
 //	GET  /v1/tenants/{id}/usage       one tenant's usage + billing
@@ -39,6 +40,10 @@ type PlaneConfig struct {
 	// KeepWarmSeconds is the default tenant idle window before
 	// scale-to-zero (default 10).
 	KeepWarmSeconds float64 `json:"keepWarmSeconds,omitempty"`
+	// Market enables the multi-provider GPU spot marketplace: worker
+	// VMs lease through two-phase provisioning and GET /v1/market/prices
+	// serves live quotes (default off).
+	Market bool `json:"market,omitempty"`
 }
 
 // PlaneInfo is the GET /v1/plane response.
@@ -88,6 +93,7 @@ func (s *Server) handlePlaneConfig(w http.ResponseWriter, r *http.Request) {
 		ChaosScale:      cfg.ChaosScale,
 		Quantum:         cfg.QuantumMillis / 1000,
 		KeepWarmDefault: cfg.KeepWarmSeconds,
+		Market:          cfg.Market,
 		WallNow:         s.wallNow,
 		Registry:        s.reg,
 	})
@@ -174,6 +180,28 @@ func (s *Server) handlePlaneTrace(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	out.start()
+}
+
+// handleMarketPrices serves the marketplace's live per-provider quotes:
+// current spot price, EWMA forecast, free spot inventory, and the
+// revocation profile. 404 on a plane configured without a market.
+func (s *Server) handleMarketPrices(w http.ResponseWriter, _ *http.Request) {
+	p, err := s.getPlane()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	quotes, err := p.MarketQuotes()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if quotes == nil {
+		writeError(w, http.StatusNotFound,
+			errors.New(`plane has no market (POST /v1/plane with "market": true)`))
+		return
+	}
+	writeJSON(w, http.StatusOK, quotes)
 }
 
 func (s *Server) handleTenantCreate(w http.ResponseWriter, r *http.Request) {

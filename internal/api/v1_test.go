@@ -263,3 +263,49 @@ func TestConcurrentSimulateAndIngest(t *testing.T) {
 		t.Error("tenant series missing from /metrics")
 	}
 }
+
+func TestV1MarketPrices(t *testing.T) {
+	srv := httptest.NewServer(NewServer().Handler())
+	defer srv.Close()
+
+	// The default plane runs market-off: the endpoint 404s with a hint.
+	resp, err := http.Get(srv.URL + "/v1/market/prices")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("market-off status = %d, want 404", resp.StatusCode)
+	}
+
+	// Reconfigure with the marketplace on.
+	resp, body := postJSON(t, srv.URL+"/v1/plane", `{"seed": 3, "nodes": 2, "market": true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plane config status = %d: %s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(srv.URL + "/v1/market/prices")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("market prices status = %d, want 200", resp.StatusCode)
+	}
+	var quotes []struct {
+		Provider       string  `json:"provider"`
+		OnDemandHourly float64 `json:"onDemandHourly"`
+		SpotHourly     float64 `json:"spotHourly"`
+		SpotFree       int     `json:"spotFree"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&quotes); err != nil {
+		t.Fatalf("decode quotes: %v", err)
+	}
+	if len(quotes) != 3 {
+		t.Fatalf("quotes = %d providers, want 3", len(quotes))
+	}
+	for _, q := range quotes {
+		if q.Provider == "" || q.SpotHourly <= 0 || q.OnDemandHourly <= 0 {
+			t.Errorf("malformed quote: %+v", q)
+		}
+	}
+}

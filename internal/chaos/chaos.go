@@ -239,9 +239,15 @@ type Targets interface {
 	// pick in [0, 1) selects the victim slice; repair is the offline
 	// window in seconds.
 	InjectSliceFault(node int, pick, repair float64)
+	// StormDomains returns how many distinct storm domains exist (one
+	// per marketplace provider; 1 for a single-provider fleet). The
+	// injector draws a victim domain only when there is more than one,
+	// so single-domain runs consume no extra randomness.
+	StormDomains() int
 	// InjectStorm forces revocation notices on a fraction of the live
-	// spot nodes, returning how many notices were issued.
-	InjectStorm(frac float64) int
+	// spot nodes in the given storm domain, returning how many notices
+	// were issued. Single-domain targets ignore domain.
+	InjectStorm(domain int, frac float64) int
 }
 
 // nodeChaos is the per-node fault-decision state: the stream the
@@ -418,7 +424,11 @@ func (inj *Injector) armStorm() {
 		if inj.stopped {
 			return
 		}
-		n := inj.targets.InjectStorm(inj.cfg.StormFraction)
+		domain := 0
+		if nd := inj.targets.StormDomains(); nd > 1 {
+			domain = inj.rng.Intn(nd)
+		}
+		n := inj.targets.InjectStorm(domain, inj.cfg.StormFraction)
 		inj.stats.Storms++
 		inj.stats.StormNotices += n
 		inj.emit(obs.KindFaultInject, -1, 0, "preemption-storm", float64(n))

@@ -25,7 +25,9 @@ func (f *fakeTargets) InjectSliceFault(node int, pick, repair float64) {
 	}{node, pick, repair})
 }
 
-func (f *fakeTargets) InjectStorm(frac float64) int {
+func (f *fakeTargets) StormDomains() int { return 1 }
+
+func (f *fakeTargets) InjectStorm(domain int, frac float64) int {
 	f.storms = append(f.storms, frac)
 	return 3
 }

@@ -16,6 +16,7 @@ import (
 	"protean/internal/chaos"
 	"protean/internal/core"
 	"protean/internal/gpu"
+	"protean/internal/market"
 	"protean/internal/metrics"
 	"protean/internal/model"
 	"protean/internal/obs"
@@ -395,6 +396,11 @@ type Result struct {
 	// Pool counts hot-object freelist traffic (job/batch reuse); hits
 	// are deterministic for a seed at any shard count.
 	Pool pool.Stats
+	// Market digests marketplace activity (nil unless the fleet is
+	// market-backed).
+	Market *market.Summary
+	// Migrations counts completed procurement migrations (market mode).
+	Migrations int
 }
 
 // Run replays a materialised request trace and drains the system.
@@ -526,10 +532,20 @@ func (c *Cluster) drainAll(duration float64) (*Result, error) {
 	c.chaos.Stop()
 	start := 0.0
 	var cost *vm.CostReport
+	var marketSummary *market.Summary
+	migrations := 0
 	if c.fleet != nil {
 		report := c.fleet.Cost(start)
 		cost = &report
 		c.fleet.Stop()
+		migrations = c.fleet.Migrations()
+		if mk := c.fleet.Market(); mk != nil {
+			// The marketplace's tickers must stop or the drain below
+			// would never run out of events.
+			mk.Stop()
+			s := mk.Summary()
+			marketSummary = &s
+		}
 		// After Stop, no node state changes arrive; reopen all nodes so
 		// queued work can drain for final metrics.
 		for _, n := range c.nodes {
@@ -600,6 +616,8 @@ func (c *Cluster) drainAll(duration float64) (*Result, error) {
 		Availability:    avail,
 		Chaos:           chaosStats,
 		Pool:            c.PoolStats(),
+		Market:          marketSummary,
+		Migrations:      migrations,
 	}, nil
 }
 
@@ -735,7 +753,14 @@ func (c *Cluster) drainPendingGlobal() {
 // monitorTick runs Algorithm 2 on every node and retries stalled work.
 func (c *Cluster) monitorTick() {
 	widx := int(c.sim.Now() / c.cfg.MonitorInterval)
+	pressure := false
+	if c.fleet != nil {
+		if mk := c.fleet.Market(); mk != nil {
+			pressure = mk.BudgetExhausted()
+		}
+	}
 	for _, n := range c.nodes {
+		n.scaler.SetCostPressure(pressure)
 		n.scaler.Sweep()
 		view := core.QueueView{
 			BEBatchesLastWindow: n.beBatchesWindow,
@@ -1065,14 +1090,24 @@ func (c *Cluster) InjectSliceFault(nodeID int, pick, repair float64) {
 	})
 }
 
+// StormDomains implements chaos.Targets: one domain per marketplace
+// provider, or a single domain without a fleet or in legacy
+// single-provider mode.
+func (c *Cluster) StormDomains() int {
+	if c.fleet == nil {
+		return 1
+	}
+	return c.fleet.StormDomains()
+}
+
 // InjectStorm implements chaos.Targets: correlated revocation notices
-// delivered through the fleet. Without a fleet there are no spot VMs
-// to preempt and the storm dissipates.
-func (c *Cluster) InjectStorm(frac float64) int {
+// delivered through the fleet, centred on one storm domain. Without a
+// fleet there are no spot VMs to preempt and the storm dissipates.
+func (c *Cluster) InjectStorm(domain int, frac float64) int {
 	if c.fleet == nil {
 		return 0
 	}
-	return c.fleet.Storm(frac)
+	return c.fleet.StormDomain(domain, frac)
 }
 
 // pumpHeld retries batches that previously failed placement.

@@ -26,11 +26,13 @@ import (
 	"protean/internal/chaos"
 	"protean/internal/cluster"
 	"protean/internal/core"
+	"protean/internal/market"
 	"protean/internal/metrics"
 	"protean/internal/model"
 	"protean/internal/obs"
 	"protean/internal/sim"
 	"protean/internal/trace"
+	"protean/internal/vm"
 )
 
 // Options configures a Plane.
@@ -63,7 +65,15 @@ type Options struct {
 	// drive virtual time explicitly via IngestAt/AdvanceTo — the mode
 	// used by replay and deterministic tests.
 	WallNow func() float64
-	// Registry optionally receives per-tenant Prometheus series.
+	// Market enables the multi-provider GPU spot marketplace under the
+	// plane: worker VMs are leased through two-phase provisioning from
+	// the default Table 3 catalog, spot prices walk on the plane's
+	// virtual clock, and `GET /v1/market/prices` serves live quotes.
+	// Off by default — market-off planes are byte-identical to planes
+	// built before the marketplace existed.
+	Market bool
+	// Registry optionally receives per-tenant Prometheus series (and,
+	// with Market, the marketplace's price/spend/lease series).
 	Registry *obs.Registry
 	// TraceCap bounds the in-memory lifecycle event ring (default 65536).
 	TraceCap int
@@ -108,6 +118,7 @@ type Plane struct {
 	cluster *cluster.Cluster
 	ring    *ringTracer
 	meter   *meter
+	market  *market.Market
 
 	tenants map[string]*tenant
 	order   []string // registration order (deterministic iteration)
@@ -135,12 +146,30 @@ func New(opts Options) (*Plane, error) {
 	if opts.ChaosScale > 0 {
 		chaosCfg = chaos.DefaultConfig().Scaled(opts.ChaosScale)
 	}
+	// The marketplace (when enabled) must exist before the cluster: its
+	// price streams derive from the sim's root RNG and its fleet config
+	// rides into cluster.New. Market-off planes skip this entirely, so
+	// they draw the exact RNG sequence of pre-marketplace planes.
+	var mk *market.Market
+	var vmCfg *vm.Config
+	if opts.Market {
+		var err error
+		mk, err = market.New(s, market.Config{Metrics: opts.Registry}, vm.DefaultMarketCatalog())
+		if err != nil {
+			return nil, err
+		}
+		if err := mk.Start(); err != nil {
+			return nil, err
+		}
+		vmCfg = &vm.Config{Market: mk, Procurement: market.CheapestSpot()}
+	}
 	c, err := cluster.New(s, cluster.Config{
 		Nodes:         opts.Nodes,
 		Policy:        core.NewProtean(core.ProteanConfig{}),
 		SLOMultiplier: opts.SLOMultiplier,
 		Chaos:         chaosCfg,
 		Scaler:        scalerConfig(opts.KeepAlive),
+		VM:            vmCfg,
 	})
 	if err != nil {
 		return nil, err
@@ -151,6 +180,7 @@ func New(opts Options) (*Plane, error) {
 		cluster:   c,
 		ring:      ring,
 		meter:     newMeter(opts.Registry),
+		market:    mk,
 		tenants:   make(map[string]*tenant),
 		predictor: metrics.NewDelayPredictor(),
 		decHash:   fnvOffset,
@@ -237,6 +267,23 @@ func (p *Plane) Backlog() cluster.BacklogStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.cluster.Backlog()
+}
+
+// MarketQuotes returns every provider's current marketplace offer,
+// advancing virtual time to the present first so quotes reflect the
+// latest price ticks. nil when the plane runs without a market.
+func (p *Plane) MarketQuotes() ([]market.Quote, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.market == nil {
+		return nil, nil
+	}
+	if !p.drained {
+		if err := p.advanceLocked(p.wallVT()); err != nil {
+			return nil, err
+		}
+	}
+	return p.market.Quotes(), nil
 }
 
 // Ingest admits (or rejects) a batch of n requests for a tenant at the
@@ -533,6 +580,9 @@ type Summary struct {
 	ColdStarts   int     `json:"coldStarts"`
 	// Tenants holds every tenant's final usage in registration order.
 	Tenants []Usage `json:"tenants"`
+	// Market is the marketplace rollup (lease counts, total dollars,
+	// price paths, per-consumer spend); nil without Options.Market.
+	Market *market.Summary `json:"market,omitempty"`
 }
 
 // Drain freezes the plane: remaining in-flight work completes, final
@@ -555,6 +605,7 @@ func (p *Plane) Drain() (*Summary, error) {
 		Duration:     p.sim.Now(),
 		Availability: res.Availability.Rate(),
 		ColdStarts:   res.ColdStarts,
+		Market:       res.Market,
 	}
 	for _, id := range p.order {
 		sum.Tenants = append(sum.Tenants, p.usageLocked(p.tenants[id]))

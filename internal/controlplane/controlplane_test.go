@@ -273,3 +273,70 @@ func TestLogRoundTrip(t *testing.T) {
 		t.Fatalf("round-tripped log = %+v", entries)
 	}
 }
+
+func TestMarketPlaneServesAndRollsUp(t *testing.T) {
+	opts := testOpts(1)
+	opts.Market = true
+	p := mustPlane(t, opts)
+	register(t, p, TenantConfig{ID: "acme", Model: "ResNet 18", Class: "gold"})
+
+	quotes, err := p.MarketQuotes()
+	if err != nil {
+		t.Fatalf("MarketQuotes: %v", err)
+	}
+	if len(quotes) != 3 {
+		t.Fatalf("quotes = %d providers, want 3 (Table 3 catalog)", len(quotes))
+	}
+	for _, q := range quotes {
+		if q.SpotHourly <= 0 || q.SpotHourly > q.OnDemandHourly {
+			t.Errorf("%s: spot $%v outside (0, on-demand $%v]", q.Provider, q.SpotHourly, q.OnDemandHourly)
+		}
+	}
+
+	for i := 0; i < 20; i++ {
+		if _, err := p.IngestAt(0.5*float64(i), "acme", 5); err != nil {
+			t.Fatalf("IngestAt: %v", err)
+		}
+	}
+	if err := p.AdvanceTo(60); err != nil {
+		t.Fatalf("AdvanceTo: %v", err)
+	}
+	sum, err := p.Drain()
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if sum.Market == nil {
+		t.Fatal("market plane drained without a market rollup")
+	}
+	if sum.Market.TotalDollars <= 0 {
+		t.Errorf("TotalDollars = %v, want > 0 (leased workers accrue)", sum.Market.TotalDollars)
+	}
+	if sum.Market.Stats.Binds < opts.Nodes {
+		t.Errorf("Binds = %d, want >= %d (one lease per worker)", sum.Market.Stats.Binds, opts.Nodes)
+	}
+	if sum.Tenants[0].Completed == 0 {
+		t.Error("market plane completed no work")
+	}
+	// Quotes remain readable after drain (frozen at drain time).
+	if _, err := p.MarketQuotes(); err != nil {
+		t.Fatalf("MarketQuotes after drain: %v", err)
+	}
+}
+
+func TestMarketOffPlaneHasNoMarketSurface(t *testing.T) {
+	p := mustPlane(t, testOpts(1))
+	quotes, err := p.MarketQuotes()
+	if err != nil {
+		t.Fatalf("MarketQuotes: %v", err)
+	}
+	if quotes != nil {
+		t.Fatalf("quotes = %v, want nil without Options.Market", quotes)
+	}
+	sum, err := p.Drain()
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if sum.Market != nil {
+		t.Fatal("market rollup present on a market-off plane")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"protean/internal/cluster"
 	"protean/internal/core"
 	"protean/internal/gpu"
+	"protean/internal/market"
 	"protean/internal/model"
 	"protean/internal/obs"
 	"protean/internal/sim"
@@ -200,6 +201,24 @@ type Scenario struct {
 	// NoPrewarm skips container pre-warming, so the run pays real cold
 	// starts (the chaos sweep uses this to exercise cold-start faults).
 	NoPrewarm bool
+	// Market attaches the multi-provider GPU marketplace: the fleet
+	// procures through the catalog's spot-price processes instead of
+	// the fixed Table 3 tariff. nil keeps the legacy path byte-for-bit.
+	Market *MarketSpec
+}
+
+// MarketSpec configures a scenario's marketplace attachment.
+type MarketSpec struct {
+	// Catalog is the provider catalog.
+	Catalog []market.ProviderConfig
+	// Config tunes ticks, provisioning, and budget.
+	Config market.Config
+	// Policy builds the procurement policy — a factory, so concurrent
+	// runs never share stateful policies.
+	Policy func() market.Policy
+	// MigrateInterval is the rebalance period (0: fleet default,
+	// negative: disabled).
+	MigrateInterval float64
 }
 
 // runScenario generates the trace and executes one cluster run. tr, when
@@ -301,6 +320,26 @@ func buildScenarioCommon(p Params, sc Scenario, tr obs.Tracer) (trace.Config, *s
 	s.SetWorkers(p.Shards)
 	if tr != nil {
 		s.SetTracer(tr)
+	}
+	if sc.Market != nil {
+		if sc.Market.Policy == nil {
+			return trace.Config{}, nil, nil, errors.New("experiments: market scenario without procurement policy")
+		}
+		mk, err := market.New(s, sc.Market.Config, sc.Market.Catalog)
+		if err != nil {
+			return trace.Config{}, nil, nil, err
+		}
+		if err := mk.Start(); err != nil {
+			return trace.Config{}, nil, nil, err
+		}
+		if vmCfg == nil {
+			vmCfg = &vm.Config{}
+		}
+		vmCfg.Market = mk
+		vmCfg.Procurement = sc.Market.Policy()
+		if sc.Market.MigrateInterval != 0 {
+			vmCfg.MigrateInterval = sc.Market.MigrateInterval
+		}
 	}
 	c, err := cluster.New(s, cluster.Config{
 		Nodes:           p.Nodes,
@@ -421,6 +460,7 @@ func Extras() []Experiment {
 	return []Experiment{
 		{ID: "chaos", Title: "Extra: availability and cost under injected faults (chaos sweep)", Run: ChaosSweep},
 		{ID: "scale", Title: "Extra: million-user scale sweep (streamed arrivals, sketched recorders)", Run: ScaleSweep},
+		{ID: "market", Title: "Extra: multi-provider marketplace cost frontier (procurement policies × volatility)", Run: MarketSweep},
 	}
 }
 

@@ -16,13 +16,16 @@ import (
 // `if x == 0` guarding a division is well-defined and epsilon-comparing
 // it would be wrong.
 //
-// Outside internal/ the rule narrows to probability- and rate-named
-// operands (prob, rate, frac): fault-injection knobs travel into cmd/
-// flag parsing, and comparing them exactly is the same hazard there.
+// Outside internal/ the rule narrows to probability-, rate- and
+// money-named operands (prob, rate, frac, price, cost, budget):
+// fault-injection knobs and marketplace dollar figures travel into
+// cmd/ flag parsing, and comparing them exactly is the same hazard
+// there — spot prices are mean-reverting walks and accrued costs are
+// piecewise sums, so two "equal" dollar amounts rarely compare equal.
 func FloateqAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "floateq",
-		Doc:  "flag ==/!= on floats in internal/ (and on prob/rate/frac-named floats anywhere); use mathx.AlmostEqual or an explicit tolerance",
+		Doc:  "flag ==/!= on floats in internal/ (and on prob/rate/frac/price/cost/budget-named floats anywhere); use mathx.AlmostEqual or an explicit tolerance",
 		Run: func(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
 			for _, f := range pkg.Files {
 				ast.Inspect(f, func(n ast.Node) bool {
@@ -48,9 +51,10 @@ func FloateqAnalyzer() *Analyzer {
 }
 
 // namesProbability reports whether the expression's identifier chain
-// mentions a probability-like name. Matching is substring-based over
-// lowercased identifiers so SliceFailRate, stragglerProb, JitterFrac
-// and plain `rate` all qualify.
+// mentions a probability- or money-like name. Matching is
+// substring-based over lowercased identifiers so SliceFailRate,
+// stragglerProb, JitterFrac, SpotPrice, costDollars, budgetLeft and
+// plain `rate` all qualify.
 func namesProbability(e ast.Expr) bool {
 	found := false
 	ast.Inspect(e, func(n ast.Node) bool {
@@ -62,7 +66,7 @@ func namesProbability(e ast.Expr) bool {
 			return true
 		}
 		name := strings.ToLower(id.Name)
-		for _, kw := range []string{"prob", "rate", "frac"} {
+		for _, kw := range []string{"prob", "rate", "frac", "price", "cost", "budget"} {
 			if strings.Contains(name, kw) {
 				found = true
 				return false

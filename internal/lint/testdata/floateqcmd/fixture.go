@@ -1,5 +1,6 @@
 // Package fixture exercises the floateq analyzer outside internal/:
-// only probability/rate/fraction-named operands are policed there.
+// only probability/rate/fraction- and price/cost/budget-named operands
+// are policed there.
 package fixture
 
 func badProbFlag(chaosFailProb float64) bool {
@@ -21,6 +22,23 @@ func badProbField(k knobs) bool {
 
 func badFrac(k knobs, v float64) bool {
 	return v == k.JitterFrac // want:floateq
+}
+
+func badSpotPrice(spotPrice, forecast float64) bool {
+	return spotPrice == forecast // want:floateq
+}
+
+type ledger struct {
+	CostDollars float64
+	BudgetLeft  float64
+}
+
+func badCostField(l ledger) bool {
+	return l.CostDollars != 0.25 // want:floateq
+}
+
+func badBudget(l ledger, spend float64) bool {
+	return spend == l.BudgetLeft // want:floateq
 }
 
 func goodPlainFloats(a, b float64) bool {

@@ -1,0 +1,28 @@
+package market
+
+import (
+	"testing"
+
+	"protean/internal/sim"
+)
+
+// BenchmarkMarketTick measures one full price-process advance across a
+// three-provider catalog with a handful of active leases (the
+// checkpointing path included).
+func BenchmarkMarketTick(b *testing.B) {
+	s := sim.New(1)
+	m, err := New(s, Config{}, testCatalog())
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := m.Request("bench", i%3, KindOnDemand, func(l *Lease) { _ = m.Bind(l) }); err != nil {
+			b.Fatalf("Request: %v", err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.tick()
+	}
+}

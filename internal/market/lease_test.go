@@ -1,0 +1,189 @@
+package market
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"protean/internal/sim"
+)
+
+func TestTwoPhaseLifecycle(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMarket(t, s, Config{ProvisionTime: 25, BindTimeout: 30})
+	var l *Lease
+	s.MustAfter(10, func() {
+		var err error
+		l, err = m.Request("c", 0, KindSpot, func(lz *Lease) {
+			if lz.State != StateReady {
+				t.Errorf("onReady state = %s, want ready", lz.State)
+			}
+			if err := m.Bind(lz); err != nil {
+				t.Errorf("Bind: %v", err)
+			}
+		})
+		if err != nil {
+			t.Errorf("Request: %v", err)
+		}
+		if l.State != StatePending {
+			t.Errorf("state after Request = %s, want pending", l.State)
+		}
+		if m.providers[0].free != 3 {
+			t.Errorf("spot inventory = %d, want 3 (held while pending)", m.providers[0].free)
+		}
+	})
+	// Stay short of the heartbeat-miss window: this test never beats.
+	if err := s.RunUntil(100); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if l.State != StateBound {
+		t.Fatalf("state = %s, want bound", l.State)
+	}
+	if l.Requested != 10 || l.ReadyAt != 35 || l.BoundAt != 35 {
+		t.Errorf("timestamps = (%v, %v, %v), want (10, 35, 35)", l.Requested, l.ReadyAt, l.BoundAt)
+	}
+	m.Release(l)
+	if l.State != StateReleased {
+		t.Errorf("state after Release = %s", l.State)
+	}
+	if m.providers[0].free != 4 {
+		t.Errorf("spot inventory = %d after release, want 4", m.providers[0].free)
+	}
+	st := m.Stats()
+	if st.Requests != 1 || st.Binds != 1 || st.Releases != 1 || st.Orphans != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBindTimeoutOrphansAndBillsReadyToReclaim(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMarket(t, s, Config{ProvisionTime: 25, BindTimeout: 30})
+	var l *Lease
+	s.MustAfter(10, func() {
+		var err error
+		l, err = m.Request("c", 0, KindOnDemand, nil) // consumer never binds
+		if err != nil {
+			t.Errorf("Request: %v", err)
+		}
+	})
+	if err := s.RunUntil(300); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if l.State != StateOrphaned {
+		t.Fatalf("state = %s, want orphaned", l.State)
+	}
+	if l.EndedAt != 65 { // ready at 35 + bind timeout 30
+		t.Errorf("EndedAt = %v, want 65", l.EndedAt)
+	}
+	// Billed exactly ready → reclaim: 30 s of alpha on-demand.
+	want := 30.0 / 3600 * 32
+	if math.Abs(l.Dollars()-want) > 1e-12 {
+		t.Errorf("orphan dollars = %v, want %v", l.Dollars(), want)
+	}
+	if m.Stats().Orphans != 1 {
+		t.Errorf("orphans = %d, want 1", m.Stats().Orphans)
+	}
+}
+
+func TestHeartbeatLossOrphansBoundLease(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMarket(t, s, Config{HeartbeatInterval: 60, HeartbeatMisses: 3})
+	l, err := m.Request("c", 1, KindSpot, func(lz *Lease) { _ = m.Bind(lz) })
+	if err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	// Heartbeat until t=120, then go silent: the sweeper reclaims once
+	// the last beat is 3 intervals stale.
+	hb, err := s.Every(30, func() {
+		if s.Now() <= 120 {
+			m.Heartbeat(l)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Every: %v", err)
+	}
+	defer hb.Stop()
+	if err := s.RunUntil(3600); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if l.State != StateOrphaned {
+		t.Fatalf("state = %s, want orphaned", l.State)
+	}
+	// Last beat at 120; first sweep with 120 ≤ now−180 is t=300.
+	if l.EndedAt != 300 {
+		t.Errorf("EndedAt = %v, want 300", l.EndedAt)
+	}
+	if m.providers[1].free != 4 {
+		t.Errorf("inventory not reclaimed: free = %d", m.providers[1].free)
+	}
+}
+
+func TestSpotInventoryExhaustion(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMarket(t, s, Config{})
+	var held []*Lease
+	for i := 0; i < 2; i++ {
+		l, err := m.Request("c", 2, KindSpot, func(lz *Lease) { _ = m.Bind(lz) })
+		if err != nil {
+			t.Fatalf("Request %d: %v", i, err)
+		}
+		held = append(held, l)
+	}
+	if _, err := m.Request("c", 2, KindSpot, nil); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("third spot request: err = %v, want ErrNoCapacity", err)
+	}
+	if m.Stats().Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", m.Stats().Rejected)
+	}
+	// On-demand supply is unbounded even when spot is sold out.
+	if _, err := m.Request("c", 2, KindOnDemand, func(lz *Lease) { _ = m.Bind(lz) }); err != nil {
+		t.Fatalf("on-demand request: %v", err)
+	}
+	m.Release(held[0])
+	if _, err := m.Request("c", 2, KindSpot, nil); err != nil {
+		t.Fatalf("spot request after release: %v", err)
+	}
+}
+
+func TestReleaseWhilePendingCancelsUnbilled(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMarket(t, s, Config{ProvisionTime: 25})
+	var l *Lease
+	bound := false
+	s.MustAfter(10, func() {
+		var err error
+		l, err = m.Request("c", 0, KindSpot, func(*Lease) { bound = true })
+		if err != nil {
+			t.Errorf("Request: %v", err)
+		}
+	})
+	s.MustAfter(20, func() { m.Release(l) }) // cancel mid-provision
+	if err := s.RunUntil(300); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if bound {
+		t.Error("onReady ran for a cancelled lease")
+	}
+	if l.State != StateReleased || l.Dollars() != 0 {
+		t.Errorf("cancelled lease: state %s, dollars %v", l.State, l.Dollars())
+	}
+	if m.providers[0].free != 4 {
+		t.Errorf("inventory = %d, want 4", m.providers[0].free)
+	}
+}
+
+func TestTimeZeroRequestsProvisionSynchronously(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMarket(t, s, Config{})
+	ready := false
+	l, err := m.Request("c", 0, KindSpot, func(lz *Lease) {
+		ready = true
+		_ = m.Bind(lz)
+	})
+	if err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	if !ready || l.State != StateBound {
+		t.Fatalf("t=0 request not synchronous: ready=%v state=%s", ready, l.State)
+	}
+}

@@ -31,6 +31,16 @@ func (a Availability) Rate() float64 {
 	return float64(a.Completed) / float64(a.Offered)
 }
 
+// DollarsPer1k normalizes spending to dollars per thousand completed
+// requests — the cost axis of the procurement frontier. A run that
+// completed nothing reports 0 (no unit to normalize against).
+func DollarsPer1k(dollars float64, completed int) float64 {
+	if completed <= 0 {
+		return 0
+	}
+	return dollars / (float64(completed) / 1000)
+}
+
 // Goodput is the rate of SLO-compliant useful work: completed strict
 // requests that met their deadline plus all completed best-effort
 // requests (BE has no deadline to miss), per second of trace time.

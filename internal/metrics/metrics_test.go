@@ -360,3 +360,15 @@ func TestMeanCI95(t *testing.T) {
 		t.Error("too-few samples accepted")
 	}
 }
+
+func TestDollarsPer1k(t *testing.T) {
+	if got := DollarsPer1k(50, 100000); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("DollarsPer1k(50, 100000) = %v, want 0.5", got)
+	}
+	if got := DollarsPer1k(12, 500); math.Abs(got-24) > 1e-12 {
+		t.Errorf("DollarsPer1k(12, 500) = %v, want 24", got)
+	}
+	if got := DollarsPer1k(12, 0); got != 0 {
+		t.Errorf("DollarsPer1k with no completions = %v, want 0", got)
+	}
+}

@@ -114,6 +114,24 @@ const (
 	// tenant id, Requests = requests completed in the window,
 	// Value = GPU-slice-seconds accrued in the window).
 	KindUsageTick
+	// KindPriceTick is one provider's spot price advancing on a market
+	// tick (Node = provider index, Detail = provider name,
+	// Value = new spot $/hour).
+	KindPriceTick
+	// KindLeaseRequest is a two-phase lease acquisition opening
+	// (Node = provider index, Batch = lease id, Detail = kind,
+	// Model = consumer).
+	KindLeaseRequest
+	// KindLeaseBind is a consumer taking ownership of a ready lease
+	// (Node = provider index, Batch = lease id, Model = consumer).
+	KindLeaseBind
+	// KindLeaseOrphan is a lease reclaimed after a bind timeout or
+	// missed heartbeats (Node = provider index, Batch = lease id,
+	// Detail = reason, Model = consumer).
+	KindLeaseOrphan
+	// KindBudgetAlert is market spending crossing a budget threshold
+	// (Detail = threshold percentage, Value = dollars spent).
+	KindBudgetAlert
 )
 
 // kindNames indexes Kind.String; order must match the constants.
@@ -143,6 +161,11 @@ var kindNames = [...]string{
 	KindTenantSuspend: "tenant-suspend",
 	KindTenantResume:  "tenant-resume",
 	KindUsageTick:     "usage-tick",
+	KindPriceTick:     "price-tick",
+	KindLeaseRequest:  "lease-request",
+	KindLeaseBind:     "lease-bind",
+	KindLeaseOrphan:   "lease-orphan",
+	KindBudgetAlert:   "budget-alert",
 }
 
 // String implements fmt.Stringer.

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"protean/internal/market"
 	"protean/internal/obs"
 	"protean/internal/sim"
 )
@@ -59,6 +60,27 @@ var (
 
 // Providers lists the Table 3 pricing rows.
 func Providers() []Pricing { return []Pricing{PricingAWS, PricingAzure, PricingGCP} }
+
+// DefaultMarketCatalog builds a marketplace catalog from the Table 3
+// provider rows: finite spot inventory, moderate price volatility, and
+// per-provider revocation profiles (Azure historically revokes least,
+// GCP most among the three). Callers wanting different dynamics build
+// their own []market.ProviderConfig.
+func DefaultMarketCatalog() []market.ProviderConfig {
+	rows := Providers()
+	vol := []float64{0.3, 0.2, 0.3}
+	prev := []float64{0.25, 0.15, 0.3}
+	out := make([]market.ProviderConfig, 0, len(rows))
+	for i, r := range rows {
+		out = append(out, market.ProviderConfig{
+			Name: r.Provider, SpotInventory: 6,
+			OnDemandHourly: r.OnDemandHourly, SpotBaseHourly: r.SpotHourly,
+			Volatility: vol[i], RegimeProb: 0.2,
+			PRev: prev[i], StormCoupling: 0.25,
+		})
+	}
+	return out
+}
 
 // Savings is the fractional cost reduction of spot vs on-demand.
 func (p Pricing) Savings() float64 {
@@ -158,6 +180,20 @@ type Config struct {
 	RetryInterval float64
 	// Listener receives node lifecycle events (optional).
 	Listener Listener
+
+	// Market, when set, replaces the fixed Table 3 single-provider
+	// tariff with the multi-provider spot marketplace: leases are
+	// acquired two-phase through the market's catalog, revocation
+	// profiles and prices come per provider, and the cost meter reads
+	// the market's ledger. The fleet assumes exclusive use of the
+	// market for metering. nil keeps the legacy path bit-for-bit.
+	Market *market.Market
+	// Procurement is the policy consulted for every acquire and
+	// replacement decision (required with Market).
+	Procurement market.Policy
+	// MigrateInterval is the period of Procurement.Rebalance passes in
+	// market mode (default 120 s; negative disables).
+	MigrateInterval float64
 }
 
 func (c *Config) applyDefaults() {
@@ -179,12 +215,20 @@ func (c *Config) applyDefaults() {
 	if c.RetryInterval <= 0 {
 		c.RetryInterval = 30
 	}
+	if c.Market != nil && c.MigrateInterval == 0 {
+		c.MigrateInterval = 120
+	}
 }
 
-// lease is one VM attached to a node slot.
+// lease is one VM attached to a node slot. Billing is piecewise: the
+// open segment starts at since (= acquired until a Reprice checkpoints
+// it) and closed segments are settled into accrued, so the meter
+// integrates exactly across mid-lease price changes.
 type lease struct {
 	kind     Kind
 	acquired float64
+	since    float64 // open billing segment start
+	accrued  float64 // dollars settled across closed segments
 }
 
 type nodeState int
@@ -211,6 +255,13 @@ type Fleet struct {
 	stopped   bool
 	notices   int
 	failures  int // spot requests that failed
+
+	// Market mode: per-node marketplace leases, consumer labels, and
+	// the migration ticker.
+	mleases    []*market.Lease
+	consumers  []string
+	migTicker  *sim.Ticker
+	migrations int
 }
 
 // NewFleet validates cfg and returns an idle fleet; call Start to
@@ -222,6 +273,15 @@ func NewFleet(s *sim.Sim, cfg Config) (*Fleet, error) {
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("vm: %d nodes, want > 0", cfg.Nodes)
 	}
+	if cfg.Market != nil {
+		if cfg.Procurement == nil {
+			return nil, errors.New("vm: market without a procurement policy")
+		}
+		if cfg.Mode == 0 {
+			// The procurement policy supersedes Mode in market mode.
+			cfg.Mode = ModeSpotPreferred
+		}
+	}
 	switch cfg.Mode {
 	case ModeOnDemandOnly, ModeSpotPreferred, ModeSpotOnly:
 	default:
@@ -231,15 +291,26 @@ func NewFleet(s *sim.Sim, cfg Config) (*Fleet, error) {
 		return nil, fmt.Errorf("vm: P_rev %v out of [0, 1]", cfg.Availability.PRev)
 	}
 	cfg.applyDefaults()
-	return &Fleet{
+	f := &Fleet{
 		cfg:       cfg,
 		sim:       s,
 		rng:       s.Rand().Child("vm/fleet"),
 		states:    make([]nodeState, cfg.Nodes),
 		leases:    make([]*lease, cfg.Nodes),
 		noticeGen: make([]int, cfg.Nodes),
-	}, nil
+	}
+	if cfg.Market != nil {
+		f.mleases = make([]*market.Lease, cfg.Nodes)
+		f.consumers = make([]string, cfg.Nodes)
+		for i := range f.consumers {
+			f.consumers[i] = fmt.Sprintf("node/%d", i)
+		}
+	}
+	return f, nil
 }
+
+// marketMode reports whether procurement goes through the marketplace.
+func (f *Fleet) marketMode() bool { return f.cfg.Market != nil }
 
 // Start acquires the initial lease for every node and begins revocation
 // checks.
@@ -248,6 +319,9 @@ func (f *Fleet) Start() error {
 		return errors.New("vm: fleet already started")
 	}
 	f.started = true
+	if f.marketMode() {
+		return f.startMarket()
+	}
 	for i := range f.leases {
 		kind := KindOnDemand
 		if f.cfg.Mode != ModeOnDemandOnly && f.spotAvailable() {
@@ -280,14 +354,45 @@ func (f *Fleet) Stop() {
 	if f.ticker != nil {
 		f.ticker.Stop()
 	}
-	for i := range f.leases {
-		f.release(i)
+	if f.migTicker != nil {
+		f.migTicker.Stop()
 	}
+	for i := range f.leases {
+		f.releaseNode(i)
+	}
+}
+
+// startMarket bootstraps every node through the procurement policy and
+// arms the revocation/heartbeat and migration tickers. Requests at
+// virtual time 0 provision synchronously, so the bootstrap fleet is up
+// before the run clock starts, like the legacy path's initial attach.
+func (f *Fleet) startMarket() error {
+	for i := range f.leases {
+		f.states[i] = nodeDown
+		f.procureMarket(i)
+	}
+	// The check ticker always runs in market mode: besides revocation
+	// draws it renews every bound lease's heartbeat, keeping the
+	// market's orphan sweeper off a live fleet's back.
+	tk, err := f.sim.Every(f.cfg.CheckInterval, f.checkRevocations)
+	if err != nil {
+		return fmt.Errorf("vm: start revocation checks: %w", err)
+	}
+	f.ticker = tk
+	if f.cfg.MigrateInterval > 0 {
+		mt, err := f.sim.Every(f.cfg.MigrateInterval, f.rebalance)
+		if err != nil {
+			return fmt.Errorf("vm: start migration ticker: %w", err)
+		}
+		f.migTicker = mt
+	}
+	return nil
 }
 
 func (f *Fleet) attach(node int, kind Kind) {
 	f.release(node)
-	f.leases[node] = &lease{kind: kind, acquired: f.sim.Now()}
+	now := f.sim.Now()
+	f.leases[node] = &lease{kind: kind, acquired: now, since: now}
 	f.states[node] = nodeUp
 	if tr := f.sim.Tracer(); tr.Enabled() {
 		ev := obs.At(f.sim.Now(), obs.KindVMLease)
@@ -305,8 +410,37 @@ func (f *Fleet) release(node int) {
 	if l == nil {
 		return
 	}
-	f.accrued += (f.sim.Now() - l.acquired) / 3600 * f.cfg.Pricing.Hourly(l.kind)
+	f.accrued += l.accrued + (f.sim.Now()-l.since)/3600*f.cfg.Pricing.Hourly(l.kind)
 	f.leases[node] = nil
+}
+
+// releaseNode returns whatever lease backs the node — marketplace or
+// legacy — settling its billing.
+func (f *Fleet) releaseNode(node int) {
+	if f.marketMode() {
+		if l := f.mleases[node]; l != nil {
+			f.cfg.Market.Release(l)
+			f.mleases[node] = nil
+		}
+		return
+	}
+	f.release(node)
+}
+
+// Reprice swaps the tariff mid-run, checkpointing every active lease's
+// open billing segment at the outgoing price, so Cost integrates each
+// lease piecewise-exactly across the change. The on-demand baseline
+// uses the tariff in force when Cost is called.
+func (f *Fleet) Reprice(p Pricing) {
+	now := f.sim.Now()
+	for _, l := range f.leases {
+		if l == nil {
+			continue
+		}
+		l.accrued += (now - l.since) / 3600 * f.cfg.Pricing.Hourly(l.kind)
+		l.since = now
+	}
+	f.cfg.Pricing = p
 }
 
 // spotAvailable samples whether a spot request succeeds right now.
@@ -317,9 +451,28 @@ func (f *Fleet) spotAvailable() bool {
 	return f.rng.Float64() >= f.cfg.Availability.PRev
 }
 
-// checkRevocations is the fixed-interval revocation process of §5.
+// checkRevocations is the fixed-interval revocation process of §5. In
+// market mode the probability comes from each lease's provider profile
+// and the same tick renews heartbeats (the check interval is well
+// inside the market's heartbeat-miss window).
 func (f *Fleet) checkRevocations() {
 	if f.stopped {
+		return
+	}
+	if f.marketMode() {
+		for i, l := range f.mleases {
+			if l == nil {
+				continue
+			}
+			f.cfg.Market.Heartbeat(l)
+			if l.Kind != market.KindSpot || f.states[i] != nodeUp {
+				continue
+			}
+			if f.rng.Float64() >= f.cfg.Market.ProviderConfig(l.Provider).PRev {
+				continue
+			}
+			f.noticeMarket(i)
+		}
 		return
 	}
 	for i, l := range f.leases {
@@ -371,6 +524,168 @@ func (f *Fleet) notice(i int) {
 	f.sim.MustAfter(notice, func() { f.evict(i, gen, needRetry) })
 }
 
+// noticeMarket delivers a revocation notice to a market-backed node:
+// the notice window comes from the lease's provider profile, and the
+// replacement is whatever the procurement policy picks from the
+// current market view.
+func (f *Fleet) noticeMarket(i int) {
+	l := f.mleases[i]
+	pc := f.cfg.Market.ProviderConfig(l.Provider)
+	f.notices++
+	f.noticeGen[i]++
+	gen := f.noticeGen[i]
+	notice := pc.NoticeMin + f.rng.Float64()*(pc.NoticeMax-pc.NoticeMin)
+	deadline := f.sim.Now() + notice
+	f.states[i] = nodeDraining
+	if tr := f.sim.Tracer(); tr.Enabled() {
+		ev := obs.At(f.sim.Now(), obs.KindVMNotice)
+		ev.Node = i
+		ev.Value = deadline
+		ev.Detail = pc.Name
+		tr.Emit(ev)
+	}
+	if f.cfg.Listener != nil {
+		f.cfg.Listener.NodeDraining(i, deadline)
+	}
+	replacementReady := false
+	if dec, ok := f.cfg.Procurement.Choose(f.cfg.Market.View()); ok {
+		if _, err := f.requestMarket(i, dec); err == nil {
+			replacementReady = true
+		} else {
+			f.failures++
+		}
+	} else {
+		f.failures++
+	}
+	needRetry := !replacementReady
+	f.sim.MustAfter(notice, func() { f.evict(i, gen, needRetry) })
+}
+
+// procureMarket asks the procurement policy for a source and opens a
+// two-phase acquisition for a down node, retrying later when nothing
+// is affordable or in stock.
+func (f *Fleet) procureMarket(node int) {
+	if f.stopped {
+		return
+	}
+	dec, ok := f.cfg.Procurement.Choose(f.cfg.Market.View())
+	if !ok {
+		f.failures++
+		f.retryMarket(node)
+		return
+	}
+	if _, err := f.requestMarket(node, dec); err != nil {
+		f.failures++
+		f.retryMarket(node)
+	}
+}
+
+// retryMarket re-runs procurement for a node still down after the
+// retry interval.
+func (f *Fleet) retryMarket(node int) {
+	f.sim.MustAfter(f.cfg.RetryInterval, func() {
+		if f.stopped || f.states[node] != nodeDown {
+			return
+		}
+		f.procureMarket(node)
+	})
+}
+
+// requestMarket opens the two-phase acquisition: on readiness the
+// lease is bound and attached to the node (the provisioning lead time
+// is inside the minimum notice window, so replacements attach before
+// their predecessor's eviction).
+func (f *Fleet) requestMarket(node int, dec market.Decision) (*market.Lease, error) {
+	return f.cfg.Market.Request(f.consumers[node], dec.Provider, dec.Kind, func(l *market.Lease) {
+		if f.stopped {
+			f.cfg.Market.Release(l)
+			return
+		}
+		if err := f.cfg.Market.Bind(l); err != nil {
+			return
+		}
+		f.attachMarket(node, l)
+	})
+}
+
+// attachMarket swaps the node onto a bound marketplace lease,
+// releasing (and settling) the previous one.
+func (f *Fleet) attachMarket(node int, l *market.Lease) {
+	if old := f.mleases[node]; old != nil {
+		f.cfg.Market.Release(old)
+	}
+	f.mleases[node] = l
+	f.states[node] = nodeUp
+	if tr := f.sim.Tracer(); tr.Enabled() {
+		ev := obs.At(f.sim.Now(), obs.KindVMLease)
+		ev.Node = node
+		ev.Detail = Kind(int(l.Kind)).String()
+		ev.Model = f.cfg.Market.ProviderConfig(l.Provider).Name
+		tr.Emit(ev)
+	}
+	if f.cfg.Listener != nil {
+		f.cfg.Listener.NodeUp(node, Kind(int(l.Kind)))
+	}
+}
+
+// rebalance runs one Procurement.Rebalance pass over the bound fleet
+// and executes the proposed migrations (drain-and-replace: the new
+// lease binds before the old one releases, so migration causes no
+// downtime).
+func (f *Fleet) rebalance() {
+	if f.stopped {
+		return
+	}
+	var bound []*market.Lease
+	for i, l := range f.mleases {
+		if l != nil && l.State == market.StateBound && f.states[i] == nodeUp {
+			bound = append(bound, l)
+		}
+	}
+	if len(bound) == 0 {
+		return
+	}
+	for _, mg := range f.cfg.Procurement.Rebalance(f.cfg.Market.View(), bound) {
+		node := -1
+		for i, l := range f.mleases {
+			if l == mg.Lease {
+				node = i
+				break
+			}
+		}
+		if node >= 0 {
+			f.migrate(node, mg.To)
+		}
+	}
+}
+
+// migrate opens a replacement lease for an up node; the swap lands
+// only if the node's lease is unchanged when the replacement is ready.
+func (f *Fleet) migrate(node int, dec market.Decision) {
+	old := f.mleases[node]
+	_, err := f.cfg.Market.Request(f.consumers[node], dec.Provider, dec.Kind, func(l *market.Lease) {
+		if f.stopped || f.states[node] != nodeUp || f.mleases[node] != old {
+			// The node was revoked or re-leased while the replacement
+			// provisioned; return it unused.
+			f.cfg.Market.Release(l)
+			return
+		}
+		if err := f.cfg.Market.Bind(l); err != nil {
+			return
+		}
+		f.migrations++
+		f.attachMarket(node, l)
+	})
+	_ = err // a sold-out target just skips this round's migration
+}
+
+// Migrations returns the number of completed procurement migrations.
+func (f *Fleet) Migrations() int { return f.migrations }
+
+// Market returns the marketplace backing the fleet (nil in legacy
+// single-provider mode).
+func (f *Fleet) Market() *market.Market { return f.cfg.Market }
+
 // Storm injects a correlated spot-preemption storm (chaos subsystem):
 // ceil(frac × live spot nodes) nodes — lowest indices first, for
 // determinism — receive a revocation notice at once, exactly as if the
@@ -378,6 +693,9 @@ func (f *Fleet) notice(i int) {
 func (f *Fleet) Storm(frac float64) int {
 	if f.stopped || !f.started || frac <= 0 {
 		return 0
+	}
+	if f.marketMode() {
+		return f.StormDomain(0, frac)
 	}
 	var eligible []int
 	for i, l := range f.leases {
@@ -394,6 +712,65 @@ func (f *Fleet) Storm(frac float64) int {
 	}
 	for _, i := range eligible[:k] {
 		f.notice(i)
+	}
+	return k
+}
+
+// StormDomains returns the number of distinct storm domains the fleet
+// exposes to the chaos injector: one per marketplace provider, or a
+// single domain in legacy single-provider mode.
+func (f *Fleet) StormDomains() int {
+	if f.marketMode() {
+		return f.cfg.Market.Providers()
+	}
+	return 1
+}
+
+// StormDomain injects a preemption storm centred on one storm domain.
+// In market mode the domain is a provider: its spot leases see the full
+// fraction, and every other provider sees frac × its StormCoupling (a
+// capacity crunch at one provider tightens the others' spot pools too).
+// Providers are swept in catalog order, eligible nodes lowest index
+// first. Legacy fleets have a single domain and delegate to Storm.
+func (f *Fleet) StormDomain(domain int, frac float64) int {
+	if f.stopped || !f.started || frac <= 0 {
+		return 0
+	}
+	if !f.marketMode() {
+		return f.Storm(frac)
+	}
+	total := 0
+	for p := 0; p < f.cfg.Market.Providers(); p++ {
+		eff := frac
+		if p != domain {
+			eff = frac * f.cfg.Market.ProviderConfig(p).StormCoupling
+		}
+		total += f.stormProvider(p, eff)
+	}
+	return total
+}
+
+// stormProvider notices ceil(frac × eligible) of provider p's live spot
+// leases, lowest node indices first.
+func (f *Fleet) stormProvider(p int, frac float64) int {
+	if frac <= 0 {
+		return 0
+	}
+	var eligible []int
+	for i, l := range f.mleases {
+		if l != nil && l.Provider == p && l.Kind == market.KindSpot && f.states[i] == nodeUp {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		return 0
+	}
+	k := int(math.Ceil(frac * float64(len(eligible))))
+	if k > len(eligible) {
+		k = len(eligible)
+	}
+	for _, i := range eligible[:k] {
+		f.noticeMarket(i)
 	}
 	return k
 }
@@ -415,7 +792,7 @@ func (f *Fleet) evict(node, gen int, needRetry bool) {
 	if f.noticeGen[node] != gen || f.states[node] != nodeDraining {
 		return // stale eviction, or replacement already attached
 	}
-	f.release(node)
+	f.releaseNode(node)
 	f.states[node] = nodeDown
 	if tr := f.sim.Tracer(); tr.Enabled() {
 		ev := obs.At(f.sim.Now(), obs.KindVMDown)
@@ -426,7 +803,11 @@ func (f *Fleet) evict(node, gen int, needRetry bool) {
 		f.cfg.Listener.NodeDown(node)
 	}
 	if needRetry {
-		f.scheduleSpotRetry(node)
+		if f.marketMode() {
+			f.retryMarket(node)
+		} else {
+			f.scheduleSpotRetry(node)
+		}
 	}
 }
 
@@ -480,13 +861,28 @@ type CostReport struct {
 }
 
 // Cost returns spending accrued up to now, measured since the given
-// start time for the baseline.
+// start time for the baseline. In market mode the total is the
+// marketplace ledger (settled plus open segments at current prices)
+// and the baseline uses the catalog's cheapest on-demand rate.
 func (f *Fleet) Cost(since float64) CostReport {
-	total := f.accrued
 	now := f.sim.Now()
+	if f.marketMode() {
+		total := f.cfg.Market.TotalDollars()
+		baseline := float64(f.cfg.Nodes) * (now - since) / 3600 * f.cfg.Market.CheapestOnDemandHourly()
+		norm := 0.0
+		if baseline > 0 {
+			norm = total / baseline
+		}
+		return CostReport{Dollars: total, OnDemandBaseline: baseline, Normalized: norm}
+	}
+	total := f.accrued
 	for _, l := range f.leases {
 		if l != nil {
-			total += (now - l.acquired) / 3600 * f.cfg.Pricing.Hourly(l.kind)
+			// Settled segments plus the open one at the current tariff —
+			// exact across Reprice; when no reprice happened accrued is
+			// +0 and since == acquired, so this is bitwise the old
+			// (now-acquired) integral.
+			total += l.accrued + (now-l.since)/3600*f.cfg.Pricing.Hourly(l.kind)
 		}
 	}
 	baseline := float64(f.cfg.Nodes) * (now - since) / 3600 * f.cfg.Pricing.OnDemandHourly
